@@ -1,0 +1,119 @@
+// E6 — The §4.3 bridge performance test (Fig. 4.5): two clients, one bridge,
+// one server, real Bluetooth parameters. The paper reports: 10 connection
+// attempts, 3 failed on "normal Bluetooth connection fault"; the successful
+// ones took 3-18 s; and the 20-message / 1-second loop then ran with "an
+// almost negligible time delay".
+#include <benchmark/benchmark.h>
+
+#include "bench_util.hpp"
+
+namespace {
+
+using namespace peerhood;
+using namespace peerhood::bench;
+
+struct AttemptResult {
+  bool ok{false};
+  double connect_s{0.0};
+  double relay_delay_ms{0.0};
+  int echoes{0};
+};
+
+AttemptResult run_attempt(std::uint64_t seed, bool retry_enabled) {
+  node::Testbed testbed{seed};
+  testbed.medium().configure(paper_bluetooth());
+
+  node::NodeOptions bridge_options = scenario_node(MobilityClass::kStatic);
+  bridge_options.bridge.connect_retries = retry_enabled ? 1 : 0;
+  auto& client = testbed.add_node("client", {0.0, 0.0},
+                                  scenario_node(MobilityClass::kDynamic));
+  testbed.add_node("bridge", {8.0, 0.0}, bridge_options);
+  auto& server = testbed.add_node("server", {16.0, 0.0},
+                                  scenario_node(MobilityClass::kStatic));
+
+  // Echo server measuring nothing; the client measures round trips.
+  (void)server.library().register_service(
+      ServiceInfo{"echo", "", 0},
+      [](ChannelPtr channel, const wire::ConnectRequest&) {
+        auto keep = channel;
+        channel->set_data_handler([keep](const Bytes& frame) {
+          (void)keep->write(frame);
+        });
+      });
+  testbed.run_discovery_rounds(5);
+
+  AttemptResult result;
+  const double start = testbed.sim().now().seconds();
+  auto connect = client.connect_blocking(server.mac(), "echo", {}, 90.0);
+  if (!connect.ok()) return result;
+  result.ok = true;
+  result.connect_s = testbed.sim().now().seconds() - start;
+
+  // The paper's loop: a message per second, 20 times; measure RTT/2.
+  const ChannelPtr channel = connect.value();
+  std::vector<double> delays;
+  auto sent_at = std::make_shared<double>(0.0);
+  channel->set_data_handler([&](const Bytes&) {
+    delays.push_back((testbed.sim().now().seconds() - *sent_at) / 2.0);
+  });
+  for (int i = 0; i < 20; ++i) {
+    testbed.sim().schedule_after(seconds(static_cast<double>(i)),
+                                 [channel, sent_at, &testbed] {
+                                   if (!channel->open()) return;
+                                   *sent_at = testbed.sim().now().seconds();
+                                   (void)channel->write(Bytes{0x42});
+                                 });
+  }
+  testbed.run_for(25.0);
+  result.echoes = static_cast<int>(delays.size());
+  result.relay_delay_ms = summarize(delays).mean * 1000.0;
+  return result;
+}
+
+void report() {
+  heading("E6  Bridge connection test (§4.3, Fig. 4.5) — paper Bluetooth");
+  std::printf("%8s %12s %24s %20s %10s\n", "retry", "success",
+              "connect time min/mean/max", "one-way delay (ms)", "echoes");
+  for (const bool retry : {false, true}) {
+    const int attempts = 30;
+    int ok = 0;
+    std::vector<double> connect_times;
+    std::vector<double> delays;
+    std::vector<double> echoes;
+    for (std::uint64_t seed = 1; seed <= attempts; ++seed) {
+      const AttemptResult r = run_attempt(seed, retry);
+      if (!r.ok) continue;
+      ++ok;
+      connect_times.push_back(r.connect_s);
+      delays.push_back(r.relay_delay_ms);
+      echoes.push_back(static_cast<double>(r.echoes));
+    }
+    const Summary ct = summarize(connect_times);
+    const Summary d = summarize(delays);
+    const Summary e = summarize(echoes);
+    std::printf("%8s %9d/%-2d %8.1f/%5.1f/%5.1f s %20.1f %10.1f\n",
+                retry ? "on" : "off", ok, attempts, ct.min, ct.mean, ct.max,
+                d.mean, e.mean);
+  }
+  note("paper: 7/10 attempts succeeded (per-hop fault 0.16 x 2 hops), the");
+  note("connection took 3-18 s, and data relaying added a negligible delay");
+  note("(tens of ms vs seconds of setup). Retry ('the connection attempt");
+  note("repetition ... would be necessary') lifts the success rate.");
+}
+
+void BM_BridgeAttempt(benchmark::State& state) {
+  std::uint64_t seed = 1000;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(run_attempt(seed++, true).ok);
+  }
+}
+BENCHMARK(BM_BridgeAttempt)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  report();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,111 @@
+// E1 + E2 — Coverage exclusion vs. total environment awareness (Figs. 3.1,
+// 3.3, 3.6) and the maximum notification delay (Fig. 3.10).
+//
+// Paper claims reproduced here:
+//  * Legacy PeerHood [2] sees at most two jumps; dynamic device discovery
+//    reaches the whole connected network (jump-labelled routing table).
+//  * The delay for a change k hops away is ≈ k × searching cycle.
+#include <benchmark/benchmark.h>
+
+#include "baseline/visibility.hpp"
+#include "bench_util.hpp"
+
+namespace {
+
+using namespace peerhood;
+using namespace peerhood::bench;
+
+void build_line(node::Testbed& testbed, int n, bool legacy) {
+  for (int i = 0; i < n; ++i) {
+    node::NodeOptions options = scenario_node(MobilityClass::kStatic);
+    options.daemon.propagate_routes = !legacy;
+    testbed.add_node("n" + std::to_string(i), {8.0 * i, 0.0}, options);
+  }
+}
+
+void report_awareness() {
+  heading("E1  Coverage exclusion: visible devices per node (line, 8 m spacing)");
+  std::printf("%6s %10s | %-22s | %-22s\n", "nodes", "mode", "routable (min/mean/max)",
+              "visible (min/mean/max)");
+  for (const int n : {3, 5, 8}) {
+    for (const bool legacy : {true, false}) {
+      std::vector<double> routable;
+      std::vector<double> visible;
+      for (std::uint64_t seed = 1; seed <= 5; ++seed) {
+        node::Testbed testbed{seed};
+        testbed.medium().configure(ideal_bluetooth());
+        build_line(testbed, n, legacy);
+        testbed.run_discovery_rounds(n + 4);
+        for (node::Node* node : testbed.nodes()) {
+          routable.push_back(static_cast<double>(
+              baseline::routable_device_count(node->daemon().storage())));
+          visible.push_back(static_cast<double>(baseline::visible_device_count(
+              node->daemon().storage(), node->mac())));
+        }
+      }
+      const Summary r = summarize(routable);
+      const Summary v = summarize(visible);
+      std::printf("%6d %10s | %5.1f / %5.2f / %5.1f  | %5.1f / %5.2f / %5.1f\n",
+                  n, legacy ? "legacy[2]" : "dynamic", r.min, r.mean, r.max,
+                  v.min, v.mean, v.max);
+    }
+  }
+  note("paper: legacy vision stops after two jumps (Fig. 3.3); dynamic");
+  note("discovery gives every node the whole network (Fig. 3.6).");
+}
+
+void report_notification_delay() {
+  heading("E2  Max notification delay vs. hop count (Fig. 3.10)");
+  std::printf("%6s %16s %18s\n", "hops", "mean delay (s)", "delay / cycle (x)");
+  const double cycle_s = 10.0;  // nominal Bluetooth searching cycle
+  for (const int hops : {1, 2, 3, 4, 5}) {
+    std::vector<double> delays;
+    for (std::uint64_t seed = 1; seed <= 6; ++seed) {
+      node::Testbed testbed{seed};
+      testbed.medium().configure(ideal_bluetooth());
+      build_line(testbed, hops + 1, /*legacy=*/false);
+      testbed.run_discovery_rounds(hops + 4);
+      // A new device appears next to the far end; measure when the near end
+      // learns about it.
+      testbed.add_node("fresh", {8.0 * hops, 8.0},
+                       scenario_node(MobilityClass::kStatic));
+      const double appeared = testbed.sim().now().seconds();
+      const MacAddress fresh = testbed.node("fresh").mac();
+      auto& observer = testbed.node("n0");
+      const SimTime deadline = testbed.sim().now() + seconds(400.0);
+      while (!observer.daemon().storage().contains(fresh) &&
+             testbed.sim().now() < deadline) {
+        testbed.run_for(0.5);
+      }
+      if (observer.daemon().storage().contains(fresh)) {
+        delays.push_back(testbed.sim().now().seconds() - appeared);
+      }
+    }
+    const Summary s = summarize(delays);
+    std::printf("%6d %16.1f %18.2f\n", hops, s.mean, s.mean / cycle_s);
+  }
+  note("paper: Max Delay = Num Jump x searching cycle time; the ratio");
+  note("column should grow roughly linearly with the hop count.");
+}
+
+void BM_DiscoveryConvergenceLine5(benchmark::State& state) {
+  for (auto _ : state) {
+    node::Testbed testbed{42};
+    testbed.medium().configure(ideal_bluetooth());
+    build_line(testbed, 5, /*legacy=*/false);
+    testbed.run_discovery_rounds(9);
+    benchmark::DoNotOptimize(
+        testbed.node("n0").daemon().storage().size());
+  }
+}
+BENCHMARK(BM_DiscoveryConvergenceLine5)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  report_awareness();
+  report_notification_delay();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

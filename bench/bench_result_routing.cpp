@@ -1,0 +1,132 @@
+// E8 — Task migration outcomes vs. upload size (§5.3, Figs. 5.9/5.10).
+//
+// The paper's three regimes for the picture-analyse migration while the
+// client walks away:
+//  1. small upload  -> task completes before the device leaves coverage;
+//  2. medium upload -> connection breaks during processing; the server
+//     routes the result back through the neighbourhood;
+//  3. huge upload   -> connection breaks mid-transmission; the handover
+//     thread must re-establish through a neighbour node.
+#include <benchmark/benchmark.h>
+
+#include "bench_util.hpp"
+#include "migration/task_client.hpp"
+#include "migration/task_server.hpp"
+
+namespace {
+
+using namespace peerhood;
+using namespace peerhood::bench;
+using migration::MigrationOutcome;
+
+struct TrialOutcome {
+  MigrationOutcome::Kind kind{MigrationOutcome::Kind::kFailed};
+  std::uint64_t handovers{0};
+  double total_s{0.0};
+};
+
+TrialOutcome run_trial(std::uint64_t seed, std::uint32_t packages,
+                       double processing_per_package_s) {
+  node::Testbed testbed{seed};
+  testbed.medium().configure(ideal_bluetooth());
+  auto& server = testbed.add_node("server", {0.0, 0.0},
+                                  scenario_node(MobilityClass::kStatic));
+  testbed.add_node("bridge", {8.0, 0.0},
+                   scenario_node(MobilityClass::kStatic));
+  auto& client = testbed.add_mobile_node(
+      "client",
+      std::make_shared<sim::WaypointPath>(
+          std::vector<sim::WaypointPath::Waypoint>{
+              {SimTime{} + seconds(0.0), {2.0, 0.0}},
+              {SimTime{} + seconds(90.0), {2.0, 0.0}},
+              {SimTime{} + seconds(146.0), {16.0, 0.0}},
+          }),
+      scenario_node(MobilityClass::kDynamic));
+
+  migration::TaskServerConfig server_config;
+  server_config.result_routing.max_attempts = 8;
+  migration::TaskServer task_server{server.library(), server_config};
+  task_server.start();
+  testbed.run_discovery_rounds(4);
+
+  migration::TaskClientConfig config;
+  config.spec.package_count = packages;
+  config.spec.package_size = 1000;
+  config.spec.per_package_processing = seconds(processing_per_package_s);
+  config.spec.send_interval = seconds(1.0);
+  config.result_timeout = seconds(900.0);
+  migration::TaskClient task_client{client.library(), server.mac(),
+                                    "picture.analyse", config};
+  std::optional<MigrationOutcome> outcome;
+  task_client.run([&](const MigrationOutcome& o) { outcome = o; });
+  testbed.run_for(950.0);
+
+  TrialOutcome result;
+  if (outcome.has_value()) {
+    result.kind = outcome->kind;
+    result.handovers = outcome->handovers;
+    result.total_s = (outcome->finished - outcome->started).count() * 1e-6;
+  }
+  return result;
+}
+
+void report() {
+  heading("E8  Migration outcome vs upload size (client leaves at t=90 s)");
+  std::printf("%10s %10s | %10s %10s %8s | %12s %10s\n", "packages",
+              "upload s", "live %", "routed %", "fail %", "handovers",
+              "total s");
+  struct Row {
+    std::uint32_t packages;
+    double processing_s;  // per package
+    const char* regime;
+  };
+  // small: everything finishes inside coverage. medium: upload finishes in
+  // coverage but processing outlasts it (paper case 2 — result routed).
+  // huge: the walk interrupts the upload itself (paper case 3 — handover).
+  for (const Row row : {Row{20, 0.5, "small"}, Row{30, 4.0, "medium"},
+                        Row{130, 0.5, "huge"}}) {
+    int live = 0;
+    int routed = 0;
+    int failed = 0;
+    std::vector<double> handovers;
+    std::vector<double> totals;
+    const int trials = 8;
+    for (std::uint64_t seed = 1; seed <= trials; ++seed) {
+      const TrialOutcome o = run_trial(seed, row.packages, row.processing_s);
+      switch (o.kind) {
+        case MigrationOutcome::Kind::kCompletedLive: ++live; break;
+        case MigrationOutcome::Kind::kCompletedRouted: ++routed; break;
+        case MigrationOutcome::Kind::kFailed: ++failed; break;
+      }
+      handovers.push_back(static_cast<double>(o.handovers));
+      totals.push_back(o.total_s);
+    }
+    std::printf("%6u (%s) %8.0f | %9.0f %10.0f %8.0f | %12.1f %10.1f\n",
+                row.packages, row.regime,
+                static_cast<double>(row.packages) /* 1 pkg/s upload */,
+                100.0 * live / trials, 100.0 * routed / trials,
+                100.0 * failed / trials, summarize(handovers).mean,
+                summarize(totals).mean);
+  }
+  note("paper §5.3: small tasks finish inside coverage (live result);");
+  note("medium tasks break during processing and the server routes the");
+  note("result back via its routing table; huge tasks break mid-upload and");
+  note("need the handover thread to re-establish through the neighbour.");
+}
+
+void BM_SmallMigration(benchmark::State& state) {
+  std::uint64_t seed = 300;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(run_trial(seed++, 20, 0.5).kind);
+  }
+}
+BENCHMARK(BM_SmallMigration)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  report();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,142 @@
+// E4 — Route selection on the Fig. 3.8 / Fig. 3.9 diamond: quality-sum
+// addition picks A-B-D; with equal sums the per-link 230 threshold rejects
+// the route whose individual link is too weak.
+#include <benchmark/benchmark.h>
+
+#include "bench_util.hpp"
+#include "discovery/analyzer.hpp"
+
+namespace {
+
+using namespace peerhood;
+using namespace peerhood::bench;
+
+MacAddress mac(std::uint64_t i) { return MacAddress::from_index(i); }
+
+// Runs the analyzer on a diamond A-{B,C}-D with the given link qualities
+// and returns the bridge selected for D.
+MacAddress select_bridge(int q_ab, int q_bd, int q_ac, int q_cd) {
+  DeviceStorage storage;
+  NeighbourhoodAnalyzer analyzer{mac(1)};  // A
+
+  auto direct = [&](std::uint64_t idx, int quality) {
+    DeviceRecord r;
+    r.device.mac = mac(idx);
+    r.device.name = idx == 2 ? "B" : "C";
+    r.device.mobility = MobilityClass::kStatic;
+    r.jump = 0;
+    r.quality_sum = quality;
+    r.min_link_quality = quality;
+    return r;
+  };
+  auto entry = [&](int quality) {
+    NeighbourSnapshotEntry e;
+    e.device.mac = mac(4);
+    e.device.name = "D";
+    e.jump = 0;
+    e.quality_sum = quality;
+    e.min_link_quality = quality;
+    return e;
+  };
+  analyzer.integrate(storage, direct(2, q_ab), {entry(q_bd)},
+                     Technology::kBluetooth, SimTime{});
+  analyzer.integrate(storage, direct(3, q_ac), {entry(q_cd)},
+                     Technology::kBluetooth, SimTime{});
+  return storage.find(mac(4))->bridge;
+}
+
+void report_figures() {
+  heading("E4  Route selection (Fig. 3.8 / Fig. 3.9 diamond)");
+  struct Case {
+    const char* name;
+    int ab, bd, ac, cd;
+    const char* expect;
+  };
+  const Case cases[] = {
+      {"Fig 3.8: AB+BD=495 > AC+CD=475", 250, 245, 240, 235, "B"},
+      {"Fig 3.8 mirrored", 240, 235, 250, 245, "C"},
+      {"Fig 3.9: equal sums, AC=210<230", 230, 230, 210, 250, "B"},
+      {"Fig 3.9 mirrored", 210, 250, 230, 230, "C"},
+      {"both inadmissible: larger sum", 220, 220, 210, 215, "B"},
+  };
+  std::printf("%-36s %6s %6s %6s %6s | %8s %8s\n", "case", "AB", "BD", "AC",
+              "CD", "chosen", "expected");
+  for (const Case& c : cases) {
+    const MacAddress chosen = select_bridge(c.ab, c.bd, c.ac, c.cd);
+    const char* name = chosen == mac(2) ? "B" : chosen == mac(3) ? "C" : "?";
+    std::printf("%-36s %6d %6d %6d %6d | %8s %8s %s\n", c.name, c.ab, c.bd,
+                c.ac, c.cd, name, c.expect,
+                std::string{name} == c.expect ? "ok" : "MISMATCH");
+  }
+
+  heading("E4b Threshold sweep: route C has the better sum (CD = 250) but");
+  note("its first link q(AC) degrades; B path fixed at 235/235 (sum 470)");
+  std::printf("%8s %10s %12s\n", "q(AC)", "sum(C)", "picks C (%)");
+  Rng rng{2024};
+  for (const int q_ac : {250, 240, 232, 229, 222, 200}) {
+    int picks_c = 0;
+    const int trials = 200;
+    for (int t = 0; t < trials; ++t) {
+      // Tiny jitter that never crosses the 230 boundary for a given row.
+      const int jitter = static_cast<int>(rng.uniform_int(0, 1));
+      const MacAddress chosen = select_bridge(235, 235, q_ac + jitter, 250);
+      if (chosen == mac(3)) ++picks_c;
+    }
+    std::printf("%8d %10d %12.1f\n", q_ac, q_ac + 250,
+                100.0 * picks_c / static_cast<double>(trials));
+  }
+  note("paper: once a link falls below the minimum demanded 230 the route");
+  note("is not accepted (Fig. 3.9) — the pick-C fraction collapses to 0");
+  note("below the threshold even though C's quality sum stays superior.");
+}
+
+void BM_AnalyzerIntegrate(benchmark::State& state) {
+  const int entries = static_cast<int>(state.range(0));
+  std::vector<NeighbourSnapshotEntry> snapshot;
+  for (int i = 0; i < entries; ++i) {
+    NeighbourSnapshotEntry e;
+    e.device.mac = mac(static_cast<std::uint64_t>(100 + i));
+    e.jump = i % 3;
+    e.bridge = i % 3 == 0 ? MacAddress{} : mac(50);
+    e.quality_sum = 200 + i % 55;
+    e.min_link_quality = 200 + i % 55;
+    snapshot.push_back(e);
+  }
+  NeighbourhoodAnalyzer analyzer{mac(1)};
+  for (auto _ : state) {
+    DeviceStorage storage;
+    DeviceRecord responder;
+    responder.device.mac = mac(2);
+    responder.jump = 0;
+    responder.quality_sum = 240;
+    responder.min_link_quality = 240;
+    benchmark::DoNotOptimize(analyzer.integrate(
+        storage, responder, snapshot, Technology::kBluetooth, SimTime{}));
+  }
+  state.SetItemsProcessed(state.iterations() * entries);
+}
+BENCHMARK(BM_AnalyzerIntegrate)->Arg(8)->Arg(64)->Arg(512);
+
+void BM_RoutePreference(benchmark::State& state) {
+  RoutePolicy policy;
+  DeviceRecord a;
+  a.jump = 1;
+  a.route_mobility = 0;
+  a.quality_sum = 470;
+  a.min_link_quality = 235;
+  DeviceRecord b = a;
+  b.quality_sum = 460;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(policy.prefer(a, b));
+  }
+}
+BENCHMARK(BM_RoutePreference);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  report_figures();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,72 @@
+// Shared helpers for the experiment benches: scenario builders, summary
+// statistics and table printing. Every bench binary prints its paper-style
+// report first, then runs its registered google-benchmark measurements.
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <numeric>
+#include <string>
+#include <vector>
+
+#include "node/testbed.hpp"
+
+namespace peerhood::bench {
+
+struct Summary {
+  double mean{0.0};
+  double min{0.0};
+  double max{0.0};
+  double p50{0.0};
+  std::size_t count{0};
+};
+
+inline Summary summarize(std::vector<double> values) {
+  Summary s;
+  s.count = values.size();
+  if (values.empty()) return s;
+  std::sort(values.begin(), values.end());
+  s.min = values.front();
+  s.max = values.back();
+  s.p50 = values[values.size() / 2];
+  s.mean = std::accumulate(values.begin(), values.end(), 0.0) /
+           static_cast<double>(values.size());
+  return s;
+}
+
+inline void heading(const std::string& title) {
+  std::printf("\n=== %s ===\n", title.c_str());
+}
+
+inline void note(const std::string& text) {
+  std::printf("    %s\n", text.c_str());
+}
+
+// Node options matching the thesis deployment: Bluetooth only, per-loop
+// neighbourhood refresh.
+inline node::NodeOptions scenario_node(MobilityClass mobility) {
+  node::NodeOptions options;
+  options.mobility = mobility;
+  options.daemon.service_check_interval = seconds(5.0);
+  return options;
+}
+
+// The paper's measured Bluetooth: per-hop connect 1.5-9 s, per-hop fault
+// probability 0.16 (§4.3), inquiry asymmetry on.
+inline sim::TechnologyParams paper_bluetooth() {
+  return sim::bluetooth_params();
+}
+
+// Bluetooth with stochastic faults disabled (for benches isolating protocol
+// behaviour from the §4.3 fault statistics).
+inline sim::TechnologyParams ideal_bluetooth() {
+  sim::TechnologyParams bt = sim::bluetooth_params();
+  bt.connect_failure_prob = 0.0;
+  bt.fetch_failure_prob = 0.0;
+  bt.connect_delay_min_s = 0.5;
+  bt.connect_delay_max_s = 1.0;
+  return bt;
+}
+
+}  // namespace peerhood::bench

@@ -1,0 +1,75 @@
+#include "baseline/gnutella.hpp"
+
+#include <deque>
+#include <set>
+
+namespace peerhood::baseline {
+
+GnutellaOverlay GnutellaOverlay::from_medium(
+    sim::RadioMedium& medium, const std::vector<MacAddress>& nodes,
+    Technology tech) {
+  Adjacency adjacency;
+  for (const MacAddress node : nodes) {
+    adjacency[node] = medium.in_range_of(node, tech);
+  }
+  return GnutellaOverlay{std::move(adjacency)};
+}
+
+GnutellaOverlay::SearchResult GnutellaOverlay::search(MacAddress origin,
+                                                      MacAddress target,
+                                                      int ttl) const {
+  SearchResult result;
+  if (!adjacency_.contains(origin)) return result;
+
+  struct Hop {
+    MacAddress node;
+    MacAddress from;
+    int depth;
+  };
+  // Gnutella floods: a node forwards the first copy of a query it sees to
+  // all neighbours except the sender. Every forwarded copy is a message.
+  std::set<MacAddress> forwarded;  // nodes that already forwarded
+  std::deque<Hop> frontier;
+  frontier.push_back(Hop{origin, origin, 0});
+  forwarded.insert(origin);
+  std::set<MacAddress> reached{origin};
+
+  while (!frontier.empty()) {
+    const Hop hop = frontier.front();
+    frontier.pop_front();
+    if (hop.depth >= ttl) continue;
+    const auto it = adjacency_.find(hop.node);
+    if (it == adjacency_.end()) continue;
+    for (const MacAddress next : it->second) {
+      if (next == hop.from) continue;
+      ++result.query_messages;  // each copy crosses the air once
+      reached.insert(next);
+      if (next == target && result.hops_to_target < 0) {
+        result.found = true;
+        result.hops_to_target = hop.depth + 1;
+      }
+      if (forwarded.insert(next).second) {
+        frontier.push_back(Hop{next, hop.node, hop.depth + 1});
+      }
+    }
+  }
+  result.nodes_reached = reached.size();
+  return result;
+}
+
+std::uint64_t GnutellaOverlay::flood_messages(MacAddress origin,
+                                              int ttl) const {
+  // A ping flood has the same propagation pattern as a query flood.
+  const SearchResult result = search(origin, MacAddress{}, ttl);
+  return result.query_messages;
+}
+
+std::size_t GnutellaOverlay::edge_count() const {
+  std::size_t degree_sum = 0;
+  for (const auto& [node, neighbours] : adjacency_) {
+    degree_sum += neighbours.size();
+  }
+  return degree_sum / 2;
+}
+
+}  // namespace peerhood::baseline

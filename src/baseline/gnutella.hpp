@@ -1,0 +1,59 @@
+// Gnutella-style flooding search (§3.2) — the baseline PeerHood's dynamic
+// device discovery is designed against. Each node forwards a query to every
+// neighbour except the sender until the TTL ("predetermined number of hops")
+// expires; the result travels back along the query path. The biggest
+// performance problem is "the huge network traffic generated due to the high
+// number of query messages" — exactly what E3 quantifies.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "common/mac_address.hpp"
+#include "sim/medium.hpp"
+
+namespace peerhood::baseline {
+
+class GnutellaOverlay {
+ public:
+  using Adjacency = std::map<MacAddress, std::vector<MacAddress>>;
+
+  explicit GnutellaOverlay(Adjacency adjacency)
+      : adjacency_{std::move(adjacency)} {}
+
+  // Builds the overlay from current radio coverage: an edge exists between
+  // endpoints in mutual range.
+  [[nodiscard]] static GnutellaOverlay from_medium(
+      sim::RadioMedium& medium, const std::vector<MacAddress>& nodes,
+      Technology tech);
+
+  struct SearchResult {
+    bool found{false};
+    // Query messages sent (every forward counts once).
+    std::uint64_t query_messages{0};
+    // Hops from the origin at which the target first received the query.
+    int hops_to_target{-1};
+    // Distinct nodes that saw the query.
+    std::size_t nodes_reached{0};
+  };
+
+  // Floods a query for `target` from `origin` with the given TTL.
+  [[nodiscard]] SearchResult search(MacAddress origin, MacAddress target,
+                                    int ttl) const;
+
+  // Messages for `origin` to discover the entire reachable network by
+  // flooding (a ping sweep) — compare with PeerHood, where each node only
+  // ever inquires its direct neighbours (§3.3: "the inquiry petition is not
+  // repeated like Gnutella network").
+  [[nodiscard]] std::uint64_t flood_messages(MacAddress origin, int ttl) const;
+
+  [[nodiscard]] const Adjacency& adjacency() const { return adjacency_; }
+  [[nodiscard]] std::size_t node_count() const { return adjacency_.size(); }
+  [[nodiscard]] std::size_t edge_count() const;
+
+ private:
+  Adjacency adjacency_;
+};
+
+}  // namespace peerhood::baseline

@@ -1,0 +1,34 @@
+// Visibility metrics for the coverage-exclusion experiment (E1, Fig. 3.3):
+// how much of the network a node can see with legacy two-jump vision [2]
+// versus dynamic device discovery.
+#pragma once
+
+#include <cstddef>
+#include <set>
+
+#include "discovery/device_storage.hpp"
+
+namespace peerhood::baseline {
+
+// Devices the node can *route to* (records in storage).
+[[nodiscard]] inline std::size_t routable_device_count(
+    const DeviceStorage& storage) {
+  return storage.size();
+}
+
+// Devices the node has *any information about*: storage records plus the
+// neighbour lists attached to direct records (the legacy PeerHood [2]
+// two-jump vision — it knows they exist but cannot reach them).
+[[nodiscard]] inline std::size_t visible_device_count(
+    const DeviceStorage& storage, MacAddress self) {
+  std::set<MacAddress> seen;
+  for (const DeviceRecord& record : storage.snapshot()) {
+    seen.insert(record.device.mac);
+    for (const NeighbourLink& link : record.neighbour_links) {
+      if (link.mac != self) seen.insert(link.mac);
+    }
+  }
+  return seen.size();
+}
+
+}  // namespace peerhood::baseline

@@ -1,0 +1,60 @@
+// Byte-buffer codec for the PeerHood wire protocol. All multi-byte integers
+// are big-endian on the wire. Reads are bounds-checked; a read past the end
+// marks the reader failed and yields zero values, so decoders can finish a
+// parse and check `ok()` once (remote peers are untrusted input).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace peerhood {
+
+using Bytes = std::vector<std::uint8_t>;
+
+class ByteWriter {
+ public:
+  void u8(std::uint8_t v);
+  void u16(std::uint16_t v);
+  void u32(std::uint32_t v);
+  void u64(std::uint64_t v);
+  // Length-prefixed (u16) string.
+  void string(std::string_view v);
+  // Length-prefixed (u32) blob.
+  void blob(std::span<const std::uint8_t> v);
+  void raw(std::span<const std::uint8_t> v);
+
+  [[nodiscard]] const Bytes& bytes() const& { return out_; }
+  [[nodiscard]] Bytes&& take() && { return std::move(out_); }
+
+ private:
+  Bytes out_;
+};
+
+class ByteReader {
+ public:
+  explicit ByteReader(std::span<const std::uint8_t> data) : data_{data} {}
+
+  [[nodiscard]] std::uint8_t u8();
+  [[nodiscard]] std::uint16_t u16();
+  [[nodiscard]] std::uint32_t u32();
+  [[nodiscard]] std::uint64_t u64();
+  [[nodiscard]] std::string string();
+  [[nodiscard]] Bytes blob();
+
+  // True iff no read has run past the end of the buffer.
+  [[nodiscard]] bool ok() const { return !failed_; }
+  [[nodiscard]] bool at_end() const { return pos_ == data_.size(); }
+  [[nodiscard]] std::size_t remaining() const { return data_.size() - pos_; }
+
+ private:
+  [[nodiscard]] bool take(std::size_t n);
+
+  std::span<const std::uint8_t> data_;
+  std::size_t pos_{0};
+  bool failed_{false};
+};
+
+}  // namespace peerhood

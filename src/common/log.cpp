@@ -1,0 +1,35 @@
+#include "common/log.hpp"
+
+#include <cstdio>
+
+namespace peerhood {
+namespace {
+
+const char* level_tag(LogLevel level) {
+  switch (level) {
+    case LogLevel::kTrace: return "TRACE";
+    case LogLevel::kDebug: return "DEBUG";
+    case LogLevel::kInfo: return "INFO ";
+    case LogLevel::kWarn: return "WARN ";
+    case LogLevel::kError: return "ERROR";
+    case LogLevel::kOff: return "OFF  ";
+  }
+  return "?";
+}
+
+}  // namespace
+
+Logger& Logger::instance() {
+  static Logger logger;
+  return logger;
+}
+
+void Logger::write(LogLevel level, SimTime now, std::string_view component,
+                   std::string_view message) {
+  std::fprintf(stderr, "[%10.3fs] %s %.*s: %.*s\n", now.seconds(),
+               level_tag(level), static_cast<int>(component.size()),
+               component.data(), static_cast<int>(message.size()),
+               message.data());
+}
+
+}  // namespace peerhood

@@ -1,0 +1,112 @@
+// Minimal Result<T> type for recoverable errors (connection faults, protocol
+// violations from remote peers). GCC 12 lacks std::expected; this is the
+// narrow slice of it the library needs.
+#pragma once
+
+#include <cassert>
+#include <string>
+#include <utility>
+#include <variant>
+
+namespace peerhood {
+
+enum class ErrorCode {
+  kOk = 0,
+  kTimeout,
+  kConnectionFailed,
+  kConnectionClosed,
+  kNoRoute,
+  kNoSuchDevice,
+  kNoSuchService,
+  kProtocolError,
+  kCapacityExceeded,
+  kCancelled,
+  kInvalidArgument,
+};
+
+[[nodiscard]] constexpr const char* to_string(ErrorCode code) {
+  switch (code) {
+    case ErrorCode::kOk: return "ok";
+    case ErrorCode::kTimeout: return "timeout";
+    case ErrorCode::kConnectionFailed: return "connection_failed";
+    case ErrorCode::kConnectionClosed: return "connection_closed";
+    case ErrorCode::kNoRoute: return "no_route";
+    case ErrorCode::kNoSuchDevice: return "no_such_device";
+    case ErrorCode::kNoSuchService: return "no_such_service";
+    case ErrorCode::kProtocolError: return "protocol_error";
+    case ErrorCode::kCapacityExceeded: return "capacity_exceeded";
+    case ErrorCode::kCancelled: return "cancelled";
+    case ErrorCode::kInvalidArgument: return "invalid_argument";
+  }
+  return "unknown";
+}
+
+struct Error {
+  ErrorCode code{ErrorCode::kOk};
+  std::string message;
+
+  [[nodiscard]] std::string to_string() const {
+    std::string out = peerhood::to_string(code);
+    if (!message.empty()) {
+      out += ": ";
+      out += message;
+    }
+    return out;
+  }
+};
+
+template <typename T>
+class [[nodiscard]] Result {
+ public:
+  Result(T value) : storage_{std::in_place_index<0>, std::move(value)} {}
+  Result(Error error) : storage_{std::in_place_index<1>, std::move(error)} {}
+
+  [[nodiscard]] bool ok() const { return storage_.index() == 0; }
+  explicit operator bool() const { return ok(); }
+
+  [[nodiscard]] T& value() & {
+    assert(ok());
+    return std::get<0>(storage_);
+  }
+  [[nodiscard]] const T& value() const& {
+    assert(ok());
+    return std::get<0>(storage_);
+  }
+  [[nodiscard]] T&& value() && {
+    assert(ok());
+    return std::get<0>(std::move(storage_));
+  }
+
+  [[nodiscard]] const Error& error() const {
+    assert(!ok());
+    return std::get<1>(storage_);
+  }
+
+  [[nodiscard]] T value_or(T fallback) const& {
+    return ok() ? std::get<0>(storage_) : std::move(fallback);
+  }
+
+ private:
+  std::variant<T, Error> storage_;
+};
+
+// Result specialisation for operations that return no value.
+class [[nodiscard]] Status {
+ public:
+  Status() = default;
+  Status(Error error) : error_{std::move(error)} {}
+  Status(ErrorCode code, std::string message)
+      : error_{code, std::move(message)} {}
+
+  [[nodiscard]] static Status ok_status() { return Status{}; }
+
+  [[nodiscard]] bool ok() const { return error_.code == ErrorCode::kOk; }
+  explicit operator bool() const { return ok(); }
+
+  [[nodiscard]] const Error& error() const { return error_; }
+
+ private:
+  Error error_{};
+};
+
+}  // namespace peerhood

@@ -1,0 +1,50 @@
+// Simulation clock types. All protocol timing in the library is expressed on
+// this clock so that tests and benchmarks are fully deterministic.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <string>
+
+namespace peerhood {
+
+// Microsecond-resolution point on the simulation timeline.
+using SimDuration = std::chrono::microseconds;
+
+struct SimTime {
+  SimDuration since_epoch{0};
+
+  [[nodiscard]] static constexpr SimTime zero() { return SimTime{}; }
+
+  [[nodiscard]] constexpr double seconds() const {
+    return std::chrono::duration<double>(since_epoch).count();
+  }
+
+  friend constexpr auto operator<=>(const SimTime&, const SimTime&) = default;
+
+  friend constexpr SimTime operator+(SimTime t, SimDuration d) {
+    return SimTime{t.since_epoch + d};
+  }
+  friend constexpr SimDuration operator-(SimTime a, SimTime b) {
+    return a.since_epoch - b.since_epoch;
+  }
+  constexpr SimTime& operator+=(SimDuration d) {
+    since_epoch += d;
+    return *this;
+  }
+};
+
+constexpr SimDuration microseconds(std::int64_t n) { return SimDuration{n}; }
+constexpr SimDuration milliseconds(std::int64_t n) {
+  return std::chrono::duration_cast<SimDuration>(std::chrono::milliseconds{n});
+}
+constexpr SimDuration seconds(double n) {
+  return std::chrono::duration_cast<SimDuration>(
+      std::chrono::duration<double>{n});
+}
+
+[[nodiscard]] inline std::string to_string(SimTime t) {
+  return std::to_string(t.seconds()) + "s";
+}
+
+}  // namespace peerhood

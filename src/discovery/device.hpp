@@ -1,0 +1,46 @@
+// Device and service descriptors (§2.3): a device is identified by its
+// interface MAC address plus a checksum (the daemon PID in the original
+// implementation); a service is (name, attribute, port).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/mac_address.hpp"
+#include "sim/radio.hpp"
+
+namespace peerhood {
+
+struct ServiceInfo {
+  std::string name;
+  std::string attribute;  // free-form; "hidden" services are not listed
+  std::uint16_t port{0};
+
+  friend bool operator==(const ServiceInfo&, const ServiceInfo&) = default;
+};
+
+// Attribute marking internal services (e.g. the bridge) that are excluded
+// from application-facing service lists.
+inline constexpr const char* kHiddenAttribute = "hidden";
+
+struct DeviceInfo {
+  MacAddress mac;
+  std::string name;
+  std::uint32_t checksum{0};  // daemon process id in the original system
+  MobilityClass mobility{MobilityClass::kDynamic};
+
+  friend bool operator==(const DeviceInfo&, const DeviceInfo&) = default;
+};
+
+// A direct neighbour's own link (mac + measured quality). Direct records
+// carry their neighbour list (Fig. 3.2's second storage level); the handover
+// controller uses it to find bridges that still see the peer (§5.2.1 state 0).
+struct NeighbourLink {
+  MacAddress mac;
+  int quality{0};
+
+  friend bool operator==(const NeighbourLink&, const NeighbourLink&) = default;
+};
+
+}  // namespace peerhood

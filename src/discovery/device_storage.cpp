@@ -1,0 +1,158 @@
+#include "discovery/device_storage.hpp"
+
+#include <algorithm>
+
+namespace peerhood {
+
+bool DeviceRecord::provides(std::string_view service_name) const {
+  return find_service(service_name).has_value();
+}
+
+std::optional<ServiceInfo> DeviceRecord::find_service(
+    std::string_view service_name) const {
+  const auto it =
+      std::find_if(services.begin(), services.end(),
+                   [&](const ServiceInfo& s) { return s.name == service_name; });
+  if (it == services.end()) return std::nullopt;
+  return *it;
+}
+
+bool RoutePolicy::admissible(const DeviceRecord& record) const {
+  return record.min_link_quality >= quality_threshold;
+}
+
+bool RoutePolicy::prefer(const DeviceRecord& candidate,
+                         const DeviceRecord& stored) const {
+  // Fig. 3.13 comparison chain: jumps always dominate — in particular a
+  // direct observation can never be displaced by a multi-hop route.
+  if (candidate.jump != stored.jump) return candidate.jump < stored.jump;
+  // Fig. 3.9: among routes with the same jump count, one whose weakest link
+  // clears the minimum demanded quality beats one that does not ("the route
+  // A-C-D won't be accepted due to A-C being lower than the minimum
+  // threshold 230").
+  if (enforce_threshold) {
+    const bool cand_ok = admissible(candidate);
+    const bool stored_ok = admissible(stored);
+    if (cand_ok != stored_ok) return cand_ok;
+  }
+  if (candidate.route_mobility != stored.route_mobility) {
+    return candidate.route_mobility < stored.route_mobility;
+  }
+  return candidate.quality_sum > stored.quality_sum;
+}
+
+bool DeviceStorage::upsert(DeviceRecord record) {
+  if (record.jump > policy_.max_jumps) return false;
+  const MacAddress mac = record.device.mac;
+  const auto it = records_.find(mac);
+  if (it == records_.end()) {
+    records_.emplace(mac, std::move(record));
+    return true;
+  }
+  DeviceRecord& stored = it->second;
+  const bool same_route =
+      record.jump == stored.jump && record.bridge == stored.bridge;
+  if (same_route || policy_.prefer(record, stored)) {
+    stored = std::move(record);
+    return true;
+  }
+  // Keep the stored route, but refresh liveness: seeing *any* route to the
+  // device proves it exists.
+  stored.last_seen = std::max(stored.last_seen, record.last_seen);
+  return false;
+}
+
+std::optional<DeviceRecord> DeviceStorage::find(MacAddress mac) const {
+  const auto it = records_.find(mac);
+  if (it == records_.end()) return std::nullopt;
+  return it->second;
+}
+
+bool DeviceStorage::contains(MacAddress mac) const {
+  return records_.contains(mac);
+}
+
+std::vector<DeviceRecord> DeviceStorage::snapshot() const {
+  std::vector<DeviceRecord> out;
+  out.reserve(records_.size());
+  for (const auto& [mac, record] : records_) out.push_back(record);
+  return out;
+}
+
+std::vector<DeviceRecord> DeviceStorage::direct_neighbours() const {
+  std::vector<DeviceRecord> out;
+  for (const auto& [mac, record] : records_) {
+    if (record.is_direct()) out.push_back(record);
+  }
+  return out;
+}
+
+std::vector<DeviceRecord> DeviceStorage::providers_of(
+    std::string_view service_name) const {
+  std::vector<DeviceRecord> out;
+  for (const auto& [mac, record] : records_) {
+    if (record.provides(service_name)) out.push_back(record);
+  }
+  return out;
+}
+
+void DeviceStorage::remove(MacAddress mac) { records_.erase(mac); }
+
+std::vector<MacAddress> DeviceStorage::age_direct(
+    Technology tech, const std::vector<MacAddress>& responders, int max_missed,
+    SimTime now) {
+  std::vector<MacAddress> removed;
+  for (auto it = records_.begin(); it != records_.end();) {
+    DeviceRecord& record = it->second;
+    if (!record.is_direct() || record.via_tech != tech) {
+      ++it;
+      continue;
+    }
+    const bool responded =
+        std::find(responders.begin(), responders.end(), record.device.mac) !=
+        responders.end();
+    if (responded) {
+      record.missed_loops = 0;
+      record.last_seen = now;
+      ++it;
+      continue;
+    }
+    ++record.missed_loops;
+    if (record.missed_loops > max_missed) {
+      removed.push_back(record.device.mac);
+      it = records_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  for (const MacAddress mac : removed) remove_routes_via(mac);
+  return removed;
+}
+
+void DeviceStorage::remove_routes_via(MacAddress bridge) {
+  for (auto it = records_.begin(); it != records_.end();) {
+    if (!it->second.is_direct() && it->second.bridge == bridge) {
+      it = records_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+void DeviceStorage::reconcile_bridge(MacAddress bridge,
+                                     const std::vector<MacAddress>& alive) {
+  for (auto it = records_.begin(); it != records_.end();) {
+    const DeviceRecord& record = it->second;
+    const bool via_bridge = !record.is_direct() && record.bridge == bridge;
+    const bool still_known =
+        std::find(alive.begin(), alive.end(), record.device.mac) !=
+        alive.end();
+    if (via_bridge && !still_known) {
+      it = records_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+}  // namespace peerhood

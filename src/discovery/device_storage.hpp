@@ -1,0 +1,97 @@
+// DeviceStorage — the heart of dynamic device discovery (Ch. 3). With the
+// Bridge address and Jump number the storage becomes an ad-hoc routing table
+// ("the use of Bridge address and Jump number are the most relevant elements
+// that transform the DeviceStorage into an Ad-hoc routing address table").
+#pragma once
+
+#include <map>
+#include <optional>
+#include <vector>
+
+#include "common/sim_time.hpp"
+#include "discovery/device.hpp"
+#include "discovery/route_policy.hpp"
+
+namespace peerhood {
+
+// One known device plus the best route to it.
+struct DeviceRecord {
+  DeviceInfo device;
+  std::vector<Technology> prototypes;
+  std::vector<ServiceInfo> services;
+
+  // Routing information. Direct neighbours have jump == 0 (paper convention:
+  // "Direct devices have jump number as 0") and a null bridge.
+  int jump{0};
+  MacAddress bridge;
+  // Mobility cost of the first-hop bridge ("only the nearest device's
+  // mobility numbers are considered", §3.4.3); 0 for direct routes.
+  int route_mobility{0};
+  // Sum of link qualities along the route (Fig. 3.8) and the weakest link
+  // (Fig. 3.9 admissibility).
+  int quality_sum{0};
+  int min_link_quality{0};
+  Technology via_tech{Technology::kBluetooth};
+
+  // Freshness bookkeeping (Fig. 3.12: "make older").
+  SimTime last_seen{};
+  int missed_loops{0};
+
+  // For direct records only: the neighbour's own neighbour list.
+  std::vector<NeighbourLink> neighbour_links;
+
+  [[nodiscard]] bool is_direct() const { return jump == 0; }
+  [[nodiscard]] bool provides(std::string_view service_name) const;
+  [[nodiscard]] std::optional<ServiceInfo> find_service(
+      std::string_view service_name) const;
+};
+
+class DeviceStorage {
+ public:
+  explicit DeviceStorage(RoutePolicy policy = {}) : policy_{policy} {}
+
+  // Inserts `record` or — when the device is already known — keeps the
+  // preferable route per RoutePolicy. A record describing the *same* route
+  // (equal jump and bridge) always refreshes the stored one. Returns true if
+  // the stored state changed.
+  bool upsert(DeviceRecord record);
+
+  [[nodiscard]] std::optional<DeviceRecord> find(MacAddress mac) const;
+  [[nodiscard]] bool contains(MacAddress mac) const;
+  [[nodiscard]] std::size_t size() const { return records_.size(); }
+  [[nodiscard]] bool empty() const { return records_.empty(); }
+
+  [[nodiscard]] std::vector<DeviceRecord> snapshot() const;
+  [[nodiscard]] std::vector<DeviceRecord> direct_neighbours() const;
+
+  // Devices offering `service_name` (used by service reconnection, §5.2.2).
+  [[nodiscard]] std::vector<DeviceRecord> providers_of(
+      std::string_view service_name) const;
+
+  void remove(MacAddress mac);
+  void clear() { records_.clear(); }
+
+  // Ages direct records of `tech`: responders get refreshed timestamps; the
+  // others accumulate missed loops and are dropped after `max_missed`.
+  // Routed records whose bridge was dropped are removed in cascade. Returns
+  // the macs removed.
+  std::vector<MacAddress> age_direct(Technology tech,
+                                     const std::vector<MacAddress>& responders,
+                                     int max_missed, SimTime now);
+
+  // Removes routed records that go through `bridge` (used both by aging and
+  // when a bridge's snapshot no longer mentions a destination).
+  void remove_routes_via(MacAddress bridge);
+
+  // Drops routed records via `bridge` whose destination is not in `alive`
+  // (the bridge's latest snapshot) — the bridge no longer knows them.
+  void reconcile_bridge(MacAddress bridge, const std::vector<MacAddress>& alive);
+
+  [[nodiscard]] const RoutePolicy& policy() const { return policy_; }
+
+ private:
+  RoutePolicy policy_;
+  std::map<MacAddress, DeviceRecord> records_;
+};
+
+}  // namespace peerhood

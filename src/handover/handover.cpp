@@ -1,0 +1,231 @@
+#include "handover/handover.hpp"
+
+#include <algorithm>
+
+#include "common/log.hpp"
+
+namespace peerhood::handover {
+
+HandoverController::HandoverController(Library& library, ChannelPtr channel,
+                                       HandoverConfig config)
+    : library_{library}, channel_{std::move(channel)}, config_{config} {}
+
+HandoverController::~HandoverController() { stop(); }
+
+void HandoverController::start() {
+  state_ = HandoverState::kPrepare;
+  refresh_plan();
+  state_ = HandoverState::kMonitor;
+  monitor_.start(library_.daemon().simulator(), config_.monitor_period,
+                 [this] { tick(); }, config_.monitor_period);
+}
+
+void HandoverController::stop() { monitor_.stop(); }
+
+std::optional<MacAddress> HandoverController::planned_bridge() const {
+  if (plan_.empty()) return std::nullopt;
+  return plan_.front().bridge;
+}
+
+void HandoverController::set_event_handler(EventHandler handler) {
+  event_handler_ = std::move(handler);
+}
+
+void HandoverController::set_permission_callback(PermissionCallback callback) {
+  permission_ = std::move(callback);
+}
+
+void HandoverController::emit(HandoverEvent event) {
+  if (event_handler_) event_handler_(event);
+}
+
+void HandoverController::refresh_plan() {
+  // State 0 (Fig. 5.5): "Get DeviceList; find connected device from the
+  // neighbours of each DeviceList element; store the best quality way."
+  plan_.clear();
+  const MacAddress peer = channel_->peer();
+  const MacAddress self = library_.daemon().mac();
+  for (const DeviceRecord& record : library_.daemon().storage().snapshot()) {
+    if (!record.is_direct() || record.device.mac == peer ||
+        record.device.mac == self) {
+      continue;
+    }
+    const auto link = std::find_if(
+        record.neighbour_links.begin(), record.neighbour_links.end(),
+        [peer](const NeighbourLink& l) { return l.mac == peer; });
+    if (link == record.neighbour_links.end()) continue;
+    // Route strength = the weakest of self->bridge and bridge->peer.
+    const int score = std::min(record.quality_sum, link->quality);
+    plan_.push_back(RouteCandidate{record.device.mac, score});
+  }
+  // Fallback: the storage's own (possibly multi-hop) route towards the
+  // peer — its first hop can relay the resume through the chain, since
+  // every bridge re-resolves the next hop from its own storage (Fig. 5.6).
+  const auto peer_record = library_.daemon().storage().find(peer);
+  if (peer_record.has_value() && !peer_record->is_direct()) {
+    const bool already_planned = std::any_of(
+        plan_.begin(), plan_.end(), [&](const RouteCandidate& c) {
+          return c.bridge == peer_record->bridge;
+        });
+    if (!already_planned) {
+      plan_.push_back(
+          RouteCandidate{peer_record->bridge, peer_record->min_link_quality});
+    }
+  }
+  std::sort(plan_.begin(), plan_.end(),
+            [](const RouteCandidate& a, const RouteCandidate& b) {
+              return a.score > b.score;
+            });
+}
+
+void HandoverController::tick() {
+  if (busy_) return;
+  // Keep the plan fresh: the neighbourhood changes while the device moves.
+  refresh_plan();
+
+  if (!channel_->open()) {
+    // The link died before (or despite) soft handover.
+    if (!channel_->sending()) {
+      ++stats_.suppressed;
+      emit(HandoverEvent{HandoverEvent::Kind::kRepairSuppressed, {}, nullptr,
+                         "connection lost while idle (result routing mode)"});
+      state_ = HandoverState::kDone;
+      stop();
+      return;
+    }
+    execute();
+    return;
+  }
+
+  ++stats_.samples;
+  const int quality = channel_->link_quality();
+  if (quality < config_.quality_threshold) {
+    ++low_count_;
+  } else {
+    low_count_ = 0;
+  }
+  if (low_count_ > config_.low_count_limit) {
+    ++stats_.degradations;
+    emit(HandoverEvent{HandoverEvent::Kind::kDegradationDetected, {}, nullptr,
+                       "link quality below threshold"});
+    low_count_ = 0;
+    execute();
+  }
+}
+
+void HandoverController::execute() {
+  if (!channel_->sending()) {
+    // §5.3: the application finished sending; repair would be wasted work —
+    // the server will route the result back itself.
+    ++stats_.suppressed;
+    emit(HandoverEvent{HandoverEvent::Kind::kRepairSuppressed, {}, nullptr,
+                       "sending flag cleared"});
+    return;
+  }
+  state_ = HandoverState::kExecute;
+  busy_ = true;
+  if (config_.routing_enabled && !plan_.empty()) {
+    attempt_route(0);
+  } else if (config_.reconnection_enabled) {
+    start_reconnection();
+  } else {
+    busy_ = false;
+    state_ = HandoverState::kFailed;
+    emit(HandoverEvent{HandoverEvent::Kind::kGaveUp, {}, nullptr,
+                       "no routing plan and reconnection disabled"});
+    stop();
+  }
+}
+
+void HandoverController::attempt_route(std::size_t candidate_index) {
+  const std::size_t limit = std::min<std::size_t>(
+      plan_.size(), static_cast<std::size_t>(config_.max_route_attempts));
+  if (candidate_index >= limit) {
+    ++stats_.route_failures;
+    if (config_.reconnection_enabled && !channel_->open()) {
+      start_reconnection();
+      return;
+    }
+    // Connection still alive: stay in monitor state and hope for recovery
+    // or a better plan on the next tick.
+    busy_ = false;
+    state_ = HandoverState::kMonitor;
+    return;
+  }
+  const MacAddress bridge = plan_[candidate_index].bridge;
+  ++stats_.route_attempts;
+  library_.resume_via_bridge(
+      bridge, channel_,
+      [this, bridge, candidate_index](Status status) {
+        if (status.ok()) {
+          ++stats_.handovers;
+          busy_ = false;
+          low_count_ = 0;
+          state_ = HandoverState::kMonitor;
+          emit(HandoverEvent{HandoverEvent::Kind::kHandoverComplete, bridge,
+                             nullptr, "rerouted via " + bridge.to_string()});
+          return;
+        }
+        emit(HandoverEvent{HandoverEvent::Kind::kHandoverFailed, bridge,
+                           nullptr, status.error().to_string()});
+        attempt_route(candidate_index + 1);
+      },
+      config_.resume_timeout);
+}
+
+void HandoverController::start_reconnection() {
+  state_ = HandoverState::kReconnecting;
+  // §5.2.2: ask the user before restarting the task on another provider.
+  auto proceed = [this](bool granted) {
+    if (!granted) {
+      busy_ = false;
+      state_ = HandoverState::kFailed;
+      emit(HandoverEvent{HandoverEvent::Kind::kGaveUp, {}, nullptr,
+                         "user declined reconnection"});
+      stop();
+      return;
+    }
+    const auto providers =
+        library_.daemon().storage().providers_of(channel_->service());
+    const MacAddress old_peer = channel_->peer();
+    const auto it = std::find_if(
+        providers.begin(), providers.end(),
+        [old_peer](const DeviceRecord& r) { return r.device.mac != old_peer; });
+    if (it == providers.end()) {
+      busy_ = false;
+      state_ = HandoverState::kFailed;
+      emit(HandoverEvent{HandoverEvent::Kind::kGaveUp, {}, nullptr,
+                         "no alternative provider of " + channel_->service()});
+      stop();
+      return;
+    }
+    Library::ConnectOptions options;
+    library_.connect(
+        it->device.mac, channel_->service(), options,
+        [this](Result<ChannelPtr> result) {
+          busy_ = false;
+          if (!result.ok()) {
+            state_ = HandoverState::kFailed;
+            emit(HandoverEvent{HandoverEvent::Kind::kGaveUp, {}, nullptr,
+                               result.error().to_string()});
+            stop();
+            return;
+          }
+          ++stats_.reconnections;
+          state_ = HandoverState::kDone;
+          // A reconnection is a *new* session: the task restarts (§5.2.2
+          // "the process is identical to a completely new connection").
+          emit(HandoverEvent{HandoverEvent::Kind::kReconnected, {},
+                             std::move(result).value(),
+                             "reconnected to another provider"});
+          stop();
+        });
+  };
+  if (permission_) {
+    permission_(proceed);
+  } else {
+    proceed(true);
+  }
+}
+
+}  // namespace peerhood::handover

@@ -1,0 +1,131 @@
+// HandoverController — the paper's HandoverThread (Fig. 5.5) as a scheduled
+// task with the three states of §5.2.1:
+//   state 0 (prepare): search the daemon's device list for the connected
+//     address inside each direct neighbour's neighbour list and remember the
+//     best-quality alternative route;
+//   state 1 (monitor): sample link quality every period; more than
+//     `low_count_limit` consecutive samples below `quality_threshold` (230)
+//     mean degradation;
+//   state 2 (execute): create a bridge connection through the stored route
+//     and substitute the old connection (the ChangeConnection callback is
+//     Channel's handover handler).
+// When routing handover is impossible or exhausted, fall back to service
+// reconnection (§5.2.2) — connect to another provider of the same service,
+// with the user's permission, restarting the application task. The §5.3
+// `sending` flag suppresses all repair while the application is idle waiting
+// for a result.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "peerhood/library.hpp"
+#include "sim/simulator.hpp"
+
+namespace peerhood::handover {
+
+struct HandoverConfig {
+  int quality_threshold{230};
+  int low_count_limit{3};
+  SimDuration monitor_period{std::chrono::seconds{1}};
+  // Routing-handover attempts (distinct bridges) before falling back.
+  int max_route_attempts{2};
+  // Disables routing handover entirely (hard-handover baseline: reconnect
+  // to another provider only — the Fig. 5.3 behaviour).
+  bool routing_enabled{true};
+  bool reconnection_enabled{true};
+  SimDuration resume_timeout{std::chrono::seconds{30}};
+};
+
+enum class HandoverState {
+  kPrepare = 0,
+  kMonitor = 1,
+  kExecute = 2,
+  kReconnecting = 3,
+  kDone = 4,
+  kFailed = 5,
+};
+
+struct HandoverEvent {
+  enum class Kind {
+    kDegradationDetected,
+    kHandoverComplete,   // same session re-routed through `bridge`
+    kHandoverFailed,     // one bridge attempt failed
+    kReconnected,        // new session on another provider (`new_channel`)
+    kRepairSuppressed,   // sending == false, loss does not matter (§5.3)
+    kGaveUp,
+  };
+  Kind kind;
+  MacAddress bridge;
+  ChannelPtr new_channel;
+  std::string detail;
+};
+
+class HandoverController {
+ public:
+  // Asks the user for permission before service reconnection (§5.2.2: "it's
+  // preferable to notify the application user about the reconnection need").
+  // Call grant(true/false). Default when unset: granted.
+  using PermissionCallback =
+      std::function<void(std::function<void(bool)> grant)>;
+  using EventHandler = std::function<void(const HandoverEvent&)>;
+
+  struct Stats {
+    std::uint64_t samples{0};
+    std::uint64_t degradations{0};
+    std::uint64_t route_attempts{0};
+    std::uint64_t handovers{0};
+    std::uint64_t route_failures{0};
+    std::uint64_t reconnections{0};
+    std::uint64_t suppressed{0};
+  };
+
+  HandoverController(Library& library, ChannelPtr channel,
+                     HandoverConfig config = {});
+  ~HandoverController();
+
+  HandoverController(const HandoverController&) = delete;
+  HandoverController& operator=(const HandoverController&) = delete;
+
+  void start();
+  void stop();
+
+  [[nodiscard]] HandoverState state() const { return state_; }
+  [[nodiscard]] const Stats& stats() const { return stats_; }
+  [[nodiscard]] std::optional<MacAddress> planned_bridge() const;
+
+  void set_event_handler(EventHandler handler);
+  void set_permission_callback(PermissionCallback callback);
+
+  // Exposed for tests: one monitor tick / one plan refresh.
+  void tick();
+  void refresh_plan();
+
+ private:
+  struct RouteCandidate {
+    MacAddress bridge;
+    int score{0};  // weakest link of self->bridge->peer
+  };
+
+  void emit(HandoverEvent event);
+  void execute();
+  void attempt_route(std::size_t candidate_index);
+  void start_reconnection();
+
+  Library& library_;
+  ChannelPtr channel_;
+  HandoverConfig config_;
+  sim::PeriodicTask monitor_;
+  HandoverState state_{HandoverState::kPrepare};
+  int low_count_{0};
+  std::vector<RouteCandidate> plan_;
+  EventHandler event_handler_;
+  PermissionCallback permission_;
+  Stats stats_;
+  bool busy_{false};
+};
+
+}  // namespace peerhood::handover

@@ -1,0 +1,96 @@
+#include "handover/result_router.hpp"
+
+#include <algorithm>
+
+namespace peerhood::handover {
+
+void ResultRouter::deliver(const ChannelPtr& channel, Bytes result,
+                           std::function<void(Status)> done) {
+  if (channel->open()) {
+    const Status status = channel->write(std::move(result));
+    if (status.ok()) {
+      ++stats_.delivered_live;
+      done(Status::ok_status());
+      return;
+    }
+  }
+  reconnect_and_send(channel, std::move(result), std::move(done),
+                     config_.max_attempts);
+}
+
+void ResultRouter::reconnect_and_send(const ChannelPtr& channel, Bytes result,
+                                      std::function<void(Status)> done,
+                                      int attempts_left) {
+  if (attempts_left <= 0) {
+    ++stats_.failures;
+    done(Status{ErrorCode::kConnectionFailed,
+                "result routing exhausted its attempts"});
+    return;
+  }
+  ++stats_.attempts;
+
+  // Resolve the client's reconnection target.
+  MacAddress target = channel->peer();
+  std::string service;
+  if (config_.method == ReconnectMethod::kClientParams) {
+    if (!channel->client_params.has_value() ||
+        channel->client_params->reconnect_service.empty()) {
+      ++stats_.failures;
+      done(Status{ErrorCode::kInvalidArgument,
+                  "client pushed no reconnection parameters"});
+      return;
+    }
+    target = channel->client_params->device.mac;
+    service = channel->client_params->reconnect_service;
+  } else {
+    // Method 1: find a visible client service on the peer device in our own
+    // storage ("server looks for the device in its neighborhood routing
+    // table", §5.3).
+    const auto record = library_.daemon().storage().find(target);
+    if (record.has_value()) {
+      const auto it = std::find_if(
+          record->services.begin(), record->services.end(),
+          [](const ServiceInfo& s) { return s.attribute == "client"; });
+      if (it != record->services.end()) service = it->name;
+    }
+  }
+
+  auto retry = [this, channel, done](Bytes payload, int remaining) {
+    library_.daemon().simulator().schedule_after(
+        config_.retry_delay,
+        [this, channel, payload = std::move(payload), done, remaining] {
+          reconnect_and_send(channel, payload, done, remaining);
+        });
+  };
+
+  if (service.empty()) {
+    // Client not (yet) visible — wait for a discovery cycle and retry.
+    retry(std::move(result), attempts_left - 1);
+    return;
+  }
+
+  Library::ConnectOptions options;
+  options.timeout = config_.connect_timeout;
+  options.skip_service_check =
+      config_.method == ReconnectMethod::kClientParams;
+  library_.connect(
+      target, service, options,
+      [this, channel, result = std::move(result), done = std::move(done),
+       retry, attempts_left](Result<ChannelPtr> connected) mutable {
+        if (!connected.ok()) {
+          retry(std::move(result), attempts_left - 1);
+          return;
+        }
+        const ChannelPtr back = std::move(connected).value();
+        const Status status = back->write(std::move(result));
+        if (!status.ok()) {
+          ++stats_.failures;
+          done(status);
+          return;
+        }
+        ++stats_.delivered_reconnect;
+        done(Status::ok_status());
+      });
+}
+
+}  // namespace peerhood::handover

@@ -1,0 +1,112 @@
+#include "migration/task.hpp"
+
+namespace peerhood::migration {
+namespace {
+
+constexpr std::int64_t kMicrosPerSecond = 1'000'000;
+
+}  // namespace
+
+Bytes encode(const HeaderFrame& frame) {
+  ByteWriter writer;
+  writer.u8(static_cast<std::uint8_t>(FrameTag::kHeader));
+  writer.u32(frame.spec.package_count);
+  writer.u32(frame.spec.package_size);
+  writer.u64(static_cast<std::uint64_t>(frame.spec.per_package_processing.count()));
+  return std::move(writer).take();
+}
+
+Bytes encode(const PackageFrame& frame) {
+  ByteWriter writer;
+  writer.u8(static_cast<std::uint8_t>(FrameTag::kPackage));
+  writer.u32(frame.index);
+  writer.u32(frame.size);
+  // Synthetic body: the size is what matters for transmission time.
+  Bytes body(frame.size, 0xAB);
+  writer.blob(body);
+  return std::move(writer).take();
+}
+
+Bytes encode(const ProgressFrame& frame) {
+  ByteWriter writer;
+  writer.u8(static_cast<std::uint8_t>(FrameTag::kProgress));
+  writer.u32(frame.next_expected);
+  return std::move(writer).take();
+}
+
+Bytes encode(const ResultFrame& frame) {
+  ByteWriter writer;
+  writer.u8(static_cast<std::uint8_t>(FrameTag::kResult));
+  writer.u32(frame.result_size);
+  writer.u32(frame.packages_processed);
+  Bytes body(frame.result_size, 0xCD);
+  writer.blob(body);
+  return std::move(writer).take();
+}
+
+std::optional<FrameTag> tag_of(const Bytes& payload) {
+  if (payload.empty()) return std::nullopt;
+  const auto tag = static_cast<FrameTag>(payload[0]);
+  switch (tag) {
+    case FrameTag::kHeader:
+    case FrameTag::kPackage:
+    case FrameTag::kProgress:
+    case FrameTag::kResult:
+      return tag;
+  }
+  return std::nullopt;
+}
+
+std::optional<HeaderFrame> decode_header(const Bytes& payload) {
+  ByteReader reader{payload};
+  if (static_cast<FrameTag>(reader.u8()) != FrameTag::kHeader) {
+    return std::nullopt;
+  }
+  HeaderFrame frame;
+  frame.spec.package_count = reader.u32();
+  frame.spec.package_size = reader.u32();
+  frame.spec.per_package_processing =
+      SimDuration{static_cast<std::int64_t>(reader.u64())};
+  if (!reader.ok()) return std::nullopt;
+  (void)kMicrosPerSecond;
+  return frame;
+}
+
+std::optional<PackageFrame> decode_package(const Bytes& payload) {
+  ByteReader reader{payload};
+  if (static_cast<FrameTag>(reader.u8()) != FrameTag::kPackage) {
+    return std::nullopt;
+  }
+  PackageFrame frame;
+  frame.index = reader.u32();
+  frame.size = reader.u32();
+  (void)reader.blob();
+  if (!reader.ok()) return std::nullopt;
+  return frame;
+}
+
+std::optional<ProgressFrame> decode_progress(const Bytes& payload) {
+  ByteReader reader{payload};
+  if (static_cast<FrameTag>(reader.u8()) != FrameTag::kProgress) {
+    return std::nullopt;
+  }
+  ProgressFrame frame;
+  frame.next_expected = reader.u32();
+  if (!reader.ok()) return std::nullopt;
+  return frame;
+}
+
+std::optional<ResultFrame> decode_result(const Bytes& payload) {
+  ByteReader reader{payload};
+  if (static_cast<FrameTag>(reader.u8()) != FrameTag::kResult) {
+    return std::nullopt;
+  }
+  ResultFrame frame;
+  frame.result_size = reader.u32();
+  frame.packages_processed = reader.u32();
+  (void)reader.blob();
+  if (!reader.ok()) return std::nullopt;
+  return frame;
+}
+
+}  // namespace peerhood::migration

@@ -1,0 +1,64 @@
+// Task-migration framing (§5.1/§5.3): the client uploads a header plus N
+// data packages; the server processes them and returns a result. Frames are
+// tagged so the same channel carries upload, resume-progress negotiation and
+// the result. The resume negotiation (server tells the client where to
+// continue after a connection substitution) is the application-level change
+// the paper calls for in §4.3: "Further applications also need to be
+// modified similarly."
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "common/bytes.hpp"
+#include "common/sim_time.hpp"
+
+namespace peerhood::migration {
+
+enum class FrameTag : std::uint8_t {
+  kHeader = 1,    // client -> server: task description
+  kPackage = 2,   // client -> server: one data package
+  kProgress = 3,  // server -> client: next package index expected (on resume)
+  kResult = 4,    // server -> client: processed result
+};
+
+struct TaskSpec {
+  std::uint32_t package_count{10};
+  std::uint32_t package_size{1000};
+  // Server-side processing cost per package (e.g. image analysis).
+  SimDuration per_package_processing{std::chrono::milliseconds{200}};
+  // Client pacing between packages (0 = back-to-back).
+  SimDuration send_interval{SimDuration{0}};
+};
+
+struct HeaderFrame {
+  TaskSpec spec;
+};
+
+struct PackageFrame {
+  std::uint32_t index{0};
+  std::uint32_t size{0};  // payload bytes (body is synthetic)
+};
+
+struct ProgressFrame {
+  std::uint32_t next_expected{0};
+};
+
+struct ResultFrame {
+  std::uint32_t result_size{0};
+  std::uint32_t packages_processed{0};
+};
+
+[[nodiscard]] Bytes encode(const HeaderFrame& frame);
+[[nodiscard]] Bytes encode(const PackageFrame& frame);
+[[nodiscard]] Bytes encode(const ProgressFrame& frame);
+[[nodiscard]] Bytes encode(const ResultFrame& frame);
+
+[[nodiscard]] std::optional<FrameTag> tag_of(const Bytes& payload);
+[[nodiscard]] std::optional<HeaderFrame> decode_header(const Bytes& payload);
+[[nodiscard]] std::optional<PackageFrame> decode_package(const Bytes& payload);
+[[nodiscard]] std::optional<ProgressFrame> decode_progress(
+    const Bytes& payload);
+[[nodiscard]] std::optional<ResultFrame> decode_result(const Bytes& payload);
+
+}  // namespace peerhood::migration

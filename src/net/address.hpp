@@ -1,0 +1,30 @@
+// Network addressing: a PeerHood endpoint is (interface MAC, technology,
+// port). Services advertise a port number (§2.3: ServiceName,
+// ServiceAttribute and Port Number).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "common/mac_address.hpp"
+#include "sim/radio.hpp"
+
+namespace peerhood::net {
+
+struct NetAddress {
+  MacAddress mac;
+  Technology tech{Technology::kBluetooth};
+  std::uint16_t port{0};
+
+  friend auto operator<=>(const NetAddress&, const NetAddress&) = default;
+
+  [[nodiscard]] std::string to_string() const {
+    return mac.to_string() + "/" + std::string{peerhood::to_string(tech)} +
+           ":" + std::to_string(port);
+  }
+};
+
+// The well-known port every PeerHood daemon engine listens on.
+inline constexpr std::uint16_t kPeerHoodEnginePort = 1;
+
+}  // namespace peerhood::net

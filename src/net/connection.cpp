@@ -1,0 +1,3 @@
+// The Connection interface is header-only; the concrete SimConnection lives
+// in network.cpp next to the network that owns its shared state.
+#include "net/connection.hpp"

@@ -1,0 +1,422 @@
+#include "net/network.hpp"
+
+#include <cassert>
+#include <utility>
+
+#include "common/log.hpp"
+#include "sim/simulator.hpp"
+
+namespace peerhood::net {
+namespace {
+
+// Medium-level frame kinds.
+constexpr std::uint8_t kFrameDatagram = 0;
+constexpr std::uint8_t kFrameData = 1;
+constexpr std::uint8_t kFrameClose = 2;
+
+}  // namespace
+
+// Shared state of one connection: both ends plus the coverage keepalive.
+struct SimNetwork::Pair {
+  std::uint64_t id{0};
+  Technology tech{Technology::kBluetooth};
+  NetAddress addr_a;  // initiator side
+  NetAddress addr_b;  // acceptor side
+  std::weak_ptr<SimConnection> end_a;
+  std::weak_ptr<SimConnection> end_b;
+  bool open_a{true};
+  bool open_b{true};
+  bool torn_down{false};
+  sim::PeriodicTask keepalive;
+};
+
+// One endpoint of a simulated connection.
+class SimConnection final : public Connection,
+                            public std::enable_shared_from_this<SimConnection> {
+ public:
+  SimConnection(SimNetwork& net, std::shared_ptr<SimNetwork::Pair> pair,
+                bool is_a)
+      : net_{net}, pair_{std::move(pair)}, is_a_{is_a} {}
+
+  ~SimConnection() override {
+    if (open_) {
+      // RAII teardown: dropping the last handle closes this side politely.
+      open_ = false;
+      close_handler_ = nullptr;
+      net_.notify_local_close(*pair_, is_a_);
+    }
+  }
+
+  Status write(Bytes frame) override {
+    if (!open_) {
+      return Status{ErrorCode::kConnectionClosed, "write on closed connection"};
+    }
+    net_.send_conn_frame(pair_->id, local_address().mac,
+                         remote_address().mac, pair_->tech, kFrameData,
+                         std::move(frame));
+    return Status::ok_status();
+  }
+
+  void set_data_handler(DataHandler handler) override {
+    data_handler_ = std::move(handler);
+    if (data_handler_) {
+      while (!rx_.empty()) {
+        Bytes frame = std::move(rx_.front());
+        rx_.pop_front();
+        data_handler_(frame);
+      }
+    }
+  }
+
+  void set_close_handler(CloseHandler handler) override {
+    close_handler_ = std::move(handler);
+  }
+
+  std::optional<Bytes> poll_frame() override {
+    if (rx_.empty()) return std::nullopt;
+    Bytes frame = std::move(rx_.front());
+    rx_.pop_front();
+    return frame;
+  }
+
+  void close() override {
+    if (!open_) return;
+    open_ = false;
+    net_.notify_local_close(*pair_, is_a_);
+    release_handlers_deferred();
+  }
+
+  [[nodiscard]] bool open() const override { return open_; }
+
+  int link_quality() override {
+    if (quality_override_) {
+      return quality_override_(net_.simulator().now());
+    }
+    if (!open_) return 0;
+    return net_.medium().sample_quality(local_address().mac,
+                                        remote_address().mac, pair_->tech);
+  }
+
+  void set_quality_override(QualityOverride override_fn) override {
+    quality_override_ = std::move(override_fn);
+  }
+
+  [[nodiscard]] NetAddress local_address() const override {
+    return is_a_ ? pair_->addr_a : pair_->addr_b;
+  }
+  [[nodiscard]] NetAddress remote_address() const override {
+    return is_a_ ? pair_->addr_b : pair_->addr_a;
+  }
+  [[nodiscard]] std::uint64_t id() const override { return pair_->id; }
+
+  // --- internal hooks used by SimNetwork -----------------------------------
+  void deliver(const Bytes& payload) {
+    if (!open_) return;
+    if (data_handler_) {
+      // Copy first: the handler may replace itself (e.g. the engine's
+      // first-frame handshake handler hands the connection to a channel).
+      const DataHandler handler = data_handler_;
+      handler(payload);
+    } else {
+      rx_.push_back(payload);
+    }
+  }
+
+  // Peer closed or coverage lost: mark closed and inform the application.
+  void force_close() {
+    if (!open_) return;
+    open_ = false;
+    if (close_handler_) {
+      const CloseHandler handler = close_handler_;
+      handler();
+    }
+    release_handlers_deferred();
+  }
+
+  // Handlers often capture the connection's own shared_ptr (handshake
+  // awaiters, relay loops). Clearing them synchronously could destroy the
+  // object mid-member-call, so break the cycle on the next event.
+  void release_handlers_deferred() {
+    const std::weak_ptr<SimConnection> self = weak_from_this();
+    net_.simulator().schedule_after(SimDuration{0}, [self] {
+      if (const auto strong = self.lock()) {
+        strong->data_handler_ = nullptr;
+        strong->close_handler_ = nullptr;
+      }
+    });
+  }
+
+  // Teardown support (see ~SimNetwork): phase 1 marks the end closed so a
+  // later destructor never touches the dying network/medium; phase 2 drops
+  // the handlers, breaking handler->channel->connection reference cycles.
+  void mark_closed() { open_ = false; }
+  void clear_handlers() {
+    // Move out first: destroying the old handlers can reentrantly call
+    // set_*_handler(nullptr) on this same connection (via ~Channel).
+    DataHandler data = std::move(data_handler_);
+    CloseHandler close_h = std::move(close_handler_);
+    data_handler_ = nullptr;
+    close_handler_ = nullptr;
+    // Locals destroyed here, releasing whatever they captured.
+  }
+
+  [[nodiscard]] int override_quality_now() {
+    return quality_override_ ? quality_override_(net_.simulator().now()) : -1;
+  }
+  [[nodiscard]] bool has_quality_override() const {
+    return static_cast<bool>(quality_override_);
+  }
+
+ private:
+  SimNetwork& net_;
+  std::shared_ptr<SimNetwork::Pair> pair_;
+  bool is_a_;
+  bool open_{true};
+  DataHandler data_handler_;
+  CloseHandler close_handler_;
+  QualityOverride quality_override_;
+  std::deque<Bytes> rx_;
+};
+
+SimNetwork::SimNetwork(sim::RadioMedium& medium) : medium_{medium} {}
+
+SimNetwork::~SimNetwork() {
+  // Quiesce every live connection end before the network dies: application
+  // code (service-handler lambdas) can hold channels whose connections are
+  // only reachable through handler reference cycles; when those cycles are
+  // broken below, the resulting destructor runs must not call back into
+  // this network or the radio medium.
+  std::vector<std::shared_ptr<Pair>> pairs;
+  pairs.reserve(pairs_.size());
+  for (const auto& [id, pair] : pairs_) pairs.push_back(pair);
+  for (const auto& pair : pairs) {
+    pair->keepalive.stop();
+    pair->torn_down = true;
+    for (const auto& end : {pair->end_a.lock(), pair->end_b.lock()}) {
+      if (end != nullptr) end->mark_closed();
+    }
+  }
+  for (const auto& pair : pairs) {
+    for (const auto& end : {pair->end_a.lock(), pair->end_b.lock()}) {
+      if (end != nullptr) end->clear_handlers();
+    }
+  }
+  pairs_.clear();
+}
+
+void SimNetwork::attach_interface(
+    MacAddress mac, Technology tech,
+    std::shared_ptr<const sim::MobilityModel> mobility) {
+  interfaces_[iface_key(mac, tech)] = Interface{};
+  medium_.register_endpoint(
+      mac, tech, std::move(mobility),
+      [this, mac, tech](MacAddress from, const Bytes& frame) {
+        handle_frame(mac, tech, from, frame);
+      });
+}
+
+void SimNetwork::detach_interface(MacAddress mac, Technology tech) {
+  interfaces_.erase(iface_key(mac, tech));
+  medium_.unregister_endpoint(mac, tech);
+}
+
+void SimNetwork::set_datagram_handler(MacAddress mac, Technology tech,
+                                      DatagramHandler handler) {
+  const auto it = interfaces_.find(iface_key(mac, tech));
+  assert(it != interfaces_.end());
+  it->second.datagram_handler = std::move(handler);
+}
+
+void SimNetwork::send_datagram(MacAddress from, MacAddress to, Technology tech,
+                               Bytes payload) {
+  Bytes frame;
+  frame.reserve(payload.size() + 1);
+  frame.push_back(kFrameDatagram);
+  frame.insert(frame.end(), payload.begin(), payload.end());
+  medium_.send_frame(from, to, tech, std::move(frame));
+}
+
+void SimNetwork::listen(const NetAddress& address, AcceptHandler handler) {
+  listeners_[address] = std::move(handler);
+}
+
+void SimNetwork::stop_listening(const NetAddress& address) {
+  listeners_.erase(address);
+}
+
+void SimNetwork::connect(MacAddress from_mac, const NetAddress& to,
+                         ConnectHandler handler) {
+  sim::Simulator& sim = simulator();
+  if (from_mac == to.mac) {
+    sim.schedule_after(microseconds(1), [handler] {
+      handler(Error{ErrorCode::kInvalidArgument, "connect to own interface"});
+    });
+    return;
+  }
+  const sim::TechnologyParams& p = medium_.params(to.tech);
+  const double delay_s =
+      sim.rng().uniform(p.connect_delay_min_s, p.connect_delay_max_s);
+  const bool fault = sim.rng().bernoulli(p.connect_failure_prob);
+  sim.schedule_after(seconds(delay_s), [this, from_mac, to, handler, fault] {
+    if (fault) {
+      handler(Error{ErrorCode::kConnectionFailed,
+                    "link-layer connection fault"});
+      return;
+    }
+    finish_connect(from_mac, to, handler);
+  });
+}
+
+void SimNetwork::finish_connect(MacAddress from_mac, NetAddress to,
+                                ConnectHandler handler) {
+  if (!medium_.in_range(from_mac, to.mac, to.tech)) {
+    handler(Error{ErrorCode::kConnectionFailed, "peer out of coverage"});
+    return;
+  }
+  const auto listener = listeners_.find(to);
+  if (listener == listeners_.end()) {
+    handler(Error{ErrorCode::kConnectionFailed,
+                  "no listener at " + to.to_string()});
+    return;
+  }
+
+  auto pair = std::make_shared<Pair>();
+  pair->id = next_conn_id_++;
+  pair->tech = to.tech;
+  pair->addr_a = NetAddress{from_mac, to.tech, 0};
+  pair->addr_b = to;
+  auto end_a = std::make_shared<SimConnection>(*this, pair, /*is_a=*/true);
+  auto end_b = std::make_shared<SimConnection>(*this, pair, /*is_a=*/false);
+  pair->end_a = end_a;
+  pair->end_b = end_b;
+  pairs_[pair->id] = pair;
+
+  const std::uint64_t conn_id = pair->id;
+  pair->keepalive.start(simulator(), keepalive_period_,
+                        [this, conn_id] { check_keepalive(conn_id); },
+                        keepalive_period_);
+
+  // Acceptor first (mirrors listen/accept then connect-return ordering).
+  listener->second(end_b);
+  handler(ConnectionPtr{end_a});
+}
+
+void SimNetwork::handle_frame(MacAddress local, Technology tech,
+                              MacAddress from, const Bytes& frame) {
+  if (frame.empty()) return;
+  const std::uint8_t kind = frame[0];
+  if (kind == kFrameDatagram) {
+    const auto it = interfaces_.find(iface_key(local, tech));
+    if (it != interfaces_.end() && it->second.datagram_handler) {
+      const Bytes payload{frame.begin() + 1, frame.end()};
+      it->second.datagram_handler(from, payload);
+    }
+    return;
+  }
+  ByteReader reader{std::span{frame.data() + 1, frame.size() - 1}};
+  const std::uint64_t conn_id = reader.u64();
+  if (!reader.ok()) return;
+  if (kind == kFrameData) {
+    Bytes payload;
+    payload.assign(frame.begin() + 9, frame.end());
+    on_peer_data(conn_id, local, std::move(payload));
+  } else if (kind == kFrameClose) {
+    on_peer_close(conn_id, local);
+  }
+}
+
+void SimNetwork::send_conn_frame(std::uint64_t conn_id, MacAddress from,
+                                 MacAddress to, Technology tech,
+                                 std::uint8_t kind, Bytes payload) {
+  ByteWriter writer;
+  writer.u8(kind);
+  writer.u64(conn_id);
+  writer.raw(payload);
+  medium_.send_frame(from, to, tech, std::move(writer).take());
+}
+
+void SimNetwork::on_peer_data(std::uint64_t conn_id, MacAddress receiver,
+                              Bytes payload) {
+  const auto it = pairs_.find(conn_id);
+  if (it == pairs_.end()) return;
+  Pair& pair = *it->second;
+  const bool to_a = receiver == pair.addr_a.mac;
+  auto end = (to_a ? pair.end_a : pair.end_b).lock();
+  if (end == nullptr || !end->open()) return;
+  end->deliver(payload);
+}
+
+void SimNetwork::on_peer_close(std::uint64_t conn_id, MacAddress receiver) {
+  const auto it = pairs_.find(conn_id);
+  if (it == pairs_.end()) return;
+  Pair& pair = *it->second;
+  const bool to_a = receiver == pair.addr_a.mac;
+  (to_a ? pair.open_a : pair.open_b) = false;
+  if (auto end = (to_a ? pair.end_a : pair.end_b).lock()) {
+    end->force_close();
+  }
+  teardown(pair, /*notify_peers=*/false);
+}
+
+void SimNetwork::notify_local_close(Pair& pair, bool is_a) {
+  (is_a ? pair.open_a : pair.open_b) = false;
+  if (pair.torn_down) return;
+  // Tell the peer; a lost frame here is fine — its keepalive/expired-end
+  // checks converge to closed anyway.
+  const NetAddress& self = is_a ? pair.addr_a : pair.addr_b;
+  const NetAddress& peer = is_a ? pair.addr_b : pair.addr_a;
+  send_conn_frame(pair.id, self.mac, peer.mac, pair.tech, kFrameClose, {});
+  teardown(pair, /*notify_peers=*/false);
+}
+
+void SimNetwork::check_keepalive(std::uint64_t conn_id) {
+  const auto it = pairs_.find(conn_id);
+  if (it == pairs_.end()) return;
+  Pair& pair = *it->second;
+  auto end_a = pair.end_a.lock();
+  auto end_b = pair.end_b.lock();
+
+  bool dead = !medium_.in_range(pair.addr_a.mac, pair.addr_b.mac, pair.tech);
+  // An artificial quality override that reaches 0 also kills the link
+  // (§5.2.1 decay experiments).
+  for (const auto& end : {end_a, end_b}) {
+    if (end != nullptr && end->has_quality_override() &&
+        end->override_quality_now() <= 0) {
+      dead = true;
+    }
+  }
+  // An end whose last handle was dropped behaves as closed.
+  if ((pair.open_a && end_a == nullptr) || (pair.open_b && end_b == nullptr)) {
+    dead = true;
+  }
+  if (dead) teardown(pair, /*notify_peers=*/true);
+}
+
+void SimNetwork::teardown(Pair& pair, bool notify_peers) {
+  if (notify_peers) {
+    for (const bool side_a : {true, false}) {
+      bool& open_flag = side_a ? pair.open_a : pair.open_b;
+      if (!open_flag) continue;
+      open_flag = false;
+      if (auto end = (side_a ? pair.end_a : pair.end_b).lock()) {
+        end->force_close();
+      }
+    }
+  }
+  if (pair.open_a || pair.open_b || pair.torn_down) return;
+  pair.torn_down = true;
+  pair.keepalive.stop();
+  // Deferred erase: teardown may run inside the pair's own keepalive tick.
+  const std::uint64_t id = pair.id;
+  simulator().schedule_after(SimDuration{0}, [this, id] { pairs_.erase(id); });
+}
+
+std::size_t SimNetwork::live_connection_count() const {
+  std::size_t count = 0;
+  for (const auto& [id, pair] : pairs_) {
+    if (!pair->torn_down) ++count;
+  }
+  return count;
+}
+
+}  // namespace peerhood::net

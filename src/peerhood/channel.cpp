@@ -1,0 +1,81 @@
+#include "peerhood/channel.hpp"
+
+#include <utility>
+
+namespace peerhood {
+
+Channel::Channel(std::uint64_t session_id, std::string service,
+                 MacAddress peer, net::ConnectionPtr connection)
+    : session_id_{session_id},
+      service_{std::move(service)},
+      peer_{peer},
+      connection_{std::move(connection)} {
+  attach();
+}
+
+Channel::~Channel() {
+  if (connection_ != nullptr) {
+    connection_->set_data_handler(nullptr);
+    connection_->set_close_handler(nullptr);
+  }
+}
+
+void Channel::attach() {
+  if (connection_ == nullptr) return;
+  connection_->set_data_handler([this](const Bytes& frame) {
+    if (data_handler_) data_handler_(frame);
+  });
+  connection_->set_close_handler([this] {
+    if (close_handler_) close_handler_();
+  });
+}
+
+Status Channel::write(Bytes frame) {
+  if (connection_ == nullptr) {
+    return Status{ErrorCode::kConnectionClosed, "channel has no connection"};
+  }
+  return connection_->write(std::move(frame));
+}
+
+void Channel::set_data_handler(DataHandler handler) {
+  data_handler_ = std::move(handler);
+  // Re-attach so that buffered frames drain into the new handler.
+  attach();
+}
+
+void Channel::set_close_handler(CloseHandler handler) {
+  close_handler_ = std::move(handler);
+}
+
+void Channel::set_handover_handler(HandoverHandler handler) {
+  handover_handler_ = std::move(handler);
+}
+
+bool Channel::open() const {
+  return connection_ != nullptr && connection_->open();
+}
+
+void Channel::close() {
+  if (connection_ != nullptr) {
+    connection_->set_close_handler(nullptr);
+    connection_->close();
+  }
+}
+
+int Channel::link_quality() {
+  return connection_ != nullptr ? connection_->link_quality() : 0;
+}
+
+void Channel::replace_connection(net::ConnectionPtr connection) {
+  if (connection_ != nullptr) {
+    // Detach before closing: the old link's demise is not a session loss.
+    connection_->set_data_handler(nullptr);
+    connection_->set_close_handler(nullptr);
+    connection_->close();
+  }
+  connection_ = std::move(connection);
+  attach();
+  if (handover_handler_) handover_handler_(connection_);
+}
+
+}  // namespace peerhood

@@ -1,0 +1,83 @@
+// Channel: an application-level session that survives handovers. The paper
+// substitutes the underlying connection while keeping the application-facing
+// object (the ChangeConnection callback, §5.2.1 state 2); Channel is that
+// object. It also carries the `sending` flag of §5.3 that tells the handover
+// monitor whether connection loss currently matters.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <optional>
+#include <string>
+
+#include "common/bytes.hpp"
+#include "common/mac_address.hpp"
+#include "common/result.hpp"
+#include "net/connection.hpp"
+#include "peerhood/protocol.hpp"
+
+namespace peerhood {
+
+class Channel {
+ public:
+  using DataHandler = std::function<void(const Bytes&)>;
+  using CloseHandler = std::function<void()>;
+  // Invoked after a successful connection substitution (routing handover or
+  // direct resume). The argument is the new underlying connection.
+  using HandoverHandler = std::function<void(const net::ConnectionPtr&)>;
+
+  Channel(std::uint64_t session_id, std::string service, MacAddress peer,
+          net::ConnectionPtr connection);
+  ~Channel();
+
+  Channel(const Channel&) = delete;
+  Channel& operator=(const Channel&) = delete;
+
+  [[nodiscard]] std::uint64_t session_id() const { return session_id_; }
+  [[nodiscard]] const std::string& service() const { return service_; }
+  // The application-level peer (not the bridge the traffic flows through).
+  [[nodiscard]] MacAddress peer() const { return peer_; }
+
+  Status write(Bytes frame);
+  void set_data_handler(DataHandler handler);
+  void set_close_handler(CloseHandler handler);
+  void set_handover_handler(HandoverHandler handler);
+
+  [[nodiscard]] bool open() const;
+  void close();
+  [[nodiscard]] int link_quality();
+
+  // §5.3 "sending" flag (the paper's Getsending method): true while the
+  // application still depends on the connection.
+  void set_sending(bool sending) { sending_ = sending; }
+  [[nodiscard]] bool sending() const { return sending_; }
+
+  // Substitutes the underlying connection, re-attaching the application
+  // handlers; the old connection is closed silently (its close must not be
+  // reported as a session loss).
+  void replace_connection(net::ConnectionPtr connection);
+
+  [[nodiscard]] const net::ConnectionPtr& connection() const {
+    return connection_;
+  }
+
+  // Server side: reconnection parameters pushed by the client (§5.3 Method 2).
+  std::optional<wire::ClientParams> client_params;
+
+ private:
+  void attach();
+
+  std::uint64_t session_id_;
+  std::string service_;
+  MacAddress peer_;
+  net::ConnectionPtr connection_;
+  DataHandler data_handler_;
+  CloseHandler close_handler_;
+  HandoverHandler handover_handler_;
+  bool sending_{true};
+};
+
+using ChannelPtr = std::shared_ptr<Channel>;
+
+}  // namespace peerhood

@@ -1,0 +1,48 @@
+// Daemon configuration. Defaults match the thesis implementation; the
+// boolean switches expose the design alternatives the paper discusses so the
+// ablation benches (E10-E12) can toggle them.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/sim_time.hpp"
+#include "discovery/route_policy.hpp"
+#include "sim/radio.hpp"
+
+namespace peerhood {
+
+struct DaemonConfig {
+  std::string device_name{"device"};
+  MobilityClass mobility{MobilityClass::kDynamic};
+  std::vector<Technology> technologies{Technology::kBluetooth};
+
+  RoutePolicy route_policy{};
+
+  // Direct devices missing this many consecutive inquiry loops are dropped
+  // (Fig. 3.12 time-stamp aging).
+  int max_missed_loops{3};
+
+  // Known devices are re-fetched only at this interval ("a service checking
+  // interval defines a longer interval time for stored devices to achieve
+  // the energy saving", §3.5). Inquiry responses still refresh liveness.
+  SimDuration service_check_interval{std::chrono::seconds{30}};
+
+  // §3.4.1: fetch device/prototype/service/neighbourhood information through
+  // one unified connection instead of four short ones (ablation E10).
+  bool unified_fetch{false};
+
+  // When false the daemon behaves like pre-thesis PeerHood [2]: neighbour
+  // lists are stored for two-jump vision but no routed records are created
+  // (baseline for E1/E2).
+  bool propagate_routes{true};
+
+  // Interconnection (Ch. 4).
+  bool bridge_enabled{true};
+  int max_bridge_connections{8};
+  // §4: decrease the advertised link quality proportionally to bridge
+  // occupancy to steer routes away from bottleneck bridges (ablation E11).
+  bool load_derating{false};
+};
+
+}  // namespace peerhood

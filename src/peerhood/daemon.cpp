@@ -1,0 +1,155 @@
+#include "peerhood/daemon.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/log.hpp"
+
+namespace peerhood {
+
+Daemon::Daemon(net::SimNetwork& network, MacAddress mac,
+               std::shared_ptr<const sim::MobilityModel> mobility,
+               DaemonConfig config)
+    : network_{network},
+      mobility_{std::move(mobility)},
+      config_{std::move(config)},
+      self_{mac, config_.device_name,
+            static_cast<std::uint32_t>(mac.as_u64() & 0xffffffffu),
+            config_.mobility},
+      storage_{config_.route_policy},
+      analyzer_{mac, AnalyzerConfig{config_.propagate_routes}},
+      engine_{network, mac} {
+  for (const Technology tech : config_.technologies) {
+    plugins_.push_back(std::make_unique<Plugin>(*this, tech));
+  }
+}
+
+Daemon::~Daemon() { stop(); }
+
+void Daemon::start() {
+  if (running_) return;
+  running_ = true;
+  for (const Technology tech : config_.technologies) {
+    network_.attach_interface(self_.mac, tech, mobility_);
+    network_.set_datagram_handler(
+        self_.mac, tech,
+        [this, tech](MacAddress from, const Bytes& payload) {
+          on_datagram(tech, from, payload);
+        });
+  }
+  engine_.start(config_.technologies);
+  for (const auto& plugin : plugins_) plugin->start();
+}
+
+void Daemon::stop() {
+  if (!running_) return;
+  running_ = false;
+  for (const auto& plugin : plugins_) plugin->stop();
+  engine_.stop();
+  for (const Technology tech : config_.technologies) {
+    network_.detach_interface(self_.mac, tech);
+  }
+}
+
+Status Daemon::register_service(ServiceInfo service) {
+  const bool exists =
+      std::any_of(services_.begin(), services_.end(),
+                  [&](const ServiceInfo& s) { return s.name == service.name; });
+  if (exists) {
+    return Status{ErrorCode::kInvalidArgument,
+                  "service already registered: " + service.name};
+  }
+  if (service.port == 0) service.port = next_port_++;
+  services_.push_back(std::move(service));
+  return Status::ok_status();
+}
+
+void Daemon::unregister_service(std::string_view name) {
+  std::erase_if(services_,
+                [&](const ServiceInfo& s) { return s.name == name; });
+}
+
+Plugin* Daemon::plugin(Technology tech) {
+  for (const auto& plugin : plugins_) {
+    if (plugin->technology() == tech) return plugin.get();
+  }
+  return nullptr;
+}
+
+void Daemon::set_load_fraction(double fraction) {
+  load_fraction_ = std::clamp(fraction, 0.0, 1.0);
+}
+
+std::uint64_t Daemon::next_session_id() {
+  return (self_.mac.as_u64() << 16) | ++session_counter_;
+}
+
+std::vector<NeighbourSnapshotEntry> Daemon::snapshot_for_advert() const {
+  std::vector<NeighbourSnapshotEntry> entries;
+  for (const DeviceRecord& record : storage_.snapshot()) {
+    NeighbourSnapshotEntry entry;
+    entry.device = record.device;
+    entry.prototypes = record.prototypes;
+    entry.services = record.services;
+    entry.jump = record.jump;
+    entry.bridge = record.bridge;
+    entry.quality_sum = record.quality_sum;
+    entry.min_link_quality = record.min_link_quality;
+    entries.push_back(std::move(entry));
+  }
+  return entries;
+}
+
+void Daemon::on_datagram(Technology tech, MacAddress from,
+                         const Bytes& payload) {
+  const auto command = wire::peek_command(payload);
+  if (!command.has_value()) return;
+  switch (*command) {
+    case wire::Command::kFetchRequest: {
+      const auto request = wire::decode_fetch_request(payload);
+      if (request.has_value()) answer_fetch(tech, from, *request);
+      return;
+    }
+    case wire::Command::kFetchResponse: {
+      const auto response = wire::decode_fetch_response(payload);
+      if (!response.has_value()) return;
+      if (Plugin* p = plugin(tech)) p->on_fetch_response(from, *response);
+      return;
+    }
+    default:
+      return;
+  }
+}
+
+void Daemon::answer_fetch(Technology tech, MacAddress from,
+                          const wire::FetchRequest& request) {
+  // The short fetch connection costs time on the responder too; a unified
+  // all-sections exchange is one longer connection (§3.4.1).
+  const sim::TechnologyParams& params = network_.medium().params(tech);
+  const SimDuration cost = request.sections == wire::kSectionAll
+                               ? 2 * params.fetch_time
+                               : params.fetch_time;
+  const std::uint32_t request_id = request.request_id;
+  const std::uint8_t sections = request.sections;
+  simulator().schedule_after(cost, [this, tech, from, request_id, sections] {
+    if (!running_) return;
+    wire::FetchResponse response;
+    response.request_id = request_id;
+    response.sections = sections;
+    response.load_percent = static_cast<std::uint8_t>(
+        std::lround(load_fraction_ * 100.0));
+    if ((sections & wire::kSectionDevice) != 0) response.device = self_;
+    if ((sections & wire::kSectionPrototypes) != 0) {
+      response.prototypes = config_.technologies;
+    }
+    if ((sections & wire::kSectionServices) != 0) {
+      response.services = services_;
+    }
+    if ((sections & wire::kSectionNeighbours) != 0) {
+      response.neighbours = snapshot_for_advert();
+    }
+    network_.send_datagram(self_.mac, from, tech, wire::encode(response));
+  });
+}
+
+}  // namespace peerhood

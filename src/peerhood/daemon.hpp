@@ -1,0 +1,95 @@
+// Daemon — the core PeerHood process (§2.2.1): owns the network plugins,
+// the DeviceStorage and the registered services; answers other devices'
+// information-fetch inquiries (the "listening to advertise" role) and serves
+// the library/application side.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string_view>
+#include <vector>
+
+#include "common/mac_address.hpp"
+#include "discovery/analyzer.hpp"
+#include "discovery/device_storage.hpp"
+#include "net/network.hpp"
+#include "peerhood/config.hpp"
+#include "peerhood/engine.hpp"
+#include "peerhood/plugin.hpp"
+#include "sim/mobility.hpp"
+
+namespace peerhood {
+
+class Daemon {
+ public:
+  Daemon(net::SimNetwork& network, MacAddress mac,
+         std::shared_ptr<const sim::MobilityModel> mobility,
+         DaemonConfig config);
+  ~Daemon();
+
+  Daemon(const Daemon&) = delete;
+  Daemon& operator=(const Daemon&) = delete;
+
+  void start();
+  void stop();
+  [[nodiscard]] bool running() const { return running_; }
+
+  // --- Identity / wiring -----------------------------------------------------
+  [[nodiscard]] const DeviceInfo& self_info() const { return self_; }
+  [[nodiscard]] MacAddress mac() const { return self_.mac; }
+  [[nodiscard]] const DaemonConfig& config() const { return config_; }
+  [[nodiscard]] DeviceStorage& storage() { return storage_; }
+  [[nodiscard]] const DeviceStorage& storage() const { return storage_; }
+  [[nodiscard]] Engine& engine() { return engine_; }
+  [[nodiscard]] net::SimNetwork& network() { return network_; }
+  [[nodiscard]] sim::Simulator& simulator() { return network_.simulator(); }
+  [[nodiscard]] const NeighbourhoodAnalyzer& analyzer() const {
+    return analyzer_;
+  }
+  [[nodiscard]] std::shared_ptr<const sim::MobilityModel> mobility() const {
+    return mobility_;
+  }
+
+  // --- Services ---------------------------------------------------------------
+  // Registers a service for advertisement. Port 0 auto-assigns.
+  Status register_service(ServiceInfo service);
+  void unregister_service(std::string_view name);
+  [[nodiscard]] const std::vector<ServiceInfo>& local_services() const {
+    return services_;
+  }
+
+  // --- Plugins ------------------------------------------------------------------
+  [[nodiscard]] Plugin* plugin(Technology tech);
+
+  // --- Bridge load (for advertised-quality de-rating, §4 / E11) ----------------
+  void set_load_fraction(double fraction);
+  [[nodiscard]] double load_fraction() const { return load_fraction_; }
+
+  // Session-id mint for client-side connections.
+  [[nodiscard]] std::uint64_t next_session_id();
+
+  // Builds the neighbourhood snapshot advertised to inquirers.
+  [[nodiscard]] std::vector<NeighbourSnapshotEntry> snapshot_for_advert()
+      const;
+
+ private:
+  void on_datagram(Technology tech, MacAddress from, const Bytes& payload);
+  void answer_fetch(Technology tech, MacAddress from,
+                    const wire::FetchRequest& request);
+
+  net::SimNetwork& network_;
+  std::shared_ptr<const sim::MobilityModel> mobility_;
+  DaemonConfig config_;
+  DeviceInfo self_;
+  DeviceStorage storage_;
+  NeighbourhoodAnalyzer analyzer_;
+  Engine engine_;
+  std::vector<std::unique_ptr<Plugin>> plugins_;
+  std::vector<ServiceInfo> services_;
+  double load_fraction_{0.0};
+  std::uint16_t next_port_{100};
+  std::uint16_t session_counter_{0};
+  bool running_{false};
+};
+
+}  // namespace peerhood

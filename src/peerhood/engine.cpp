@@ -1,0 +1,152 @@
+#include "peerhood/engine.hpp"
+
+#include "common/log.hpp"
+#include "net/address.hpp"
+
+namespace peerhood {
+
+Engine::Engine(net::SimNetwork& network, MacAddress mac)
+    : network_{network}, mac_{mac} {}
+
+Engine::~Engine() { stop(); }
+
+void Engine::start(const std::vector<Technology>& technologies) {
+  stop();
+  listening_ = technologies;
+  for (const Technology tech : listening_) {
+    network_.listen(net::NetAddress{mac_, tech, net::kPeerHoodEnginePort},
+                    [this](net::ConnectionPtr conn) {
+                      on_accept(std::move(conn));
+                    });
+  }
+}
+
+void Engine::stop() {
+  for (const Technology tech : listening_) {
+    network_.stop_listening(
+        net::NetAddress{mac_, tech, net::kPeerHoodEnginePort});
+  }
+  listening_.clear();
+  pending_.clear();
+}
+
+void Engine::set_service_handler(std::string service_name,
+                                 ServiceHandler handler) {
+  service_handlers_[std::move(service_name)] = std::move(handler);
+}
+
+void Engine::remove_service_handler(const std::string& service_name) {
+  service_handlers_.erase(service_name);
+}
+
+bool Engine::has_service_handler(const std::string& name) const {
+  return service_handlers_.contains(name);
+}
+
+void Engine::set_bridge_handler(BridgeHandler handler) {
+  bridge_handler_ = std::move(handler);
+}
+
+void Engine::register_session(const ChannelPtr& channel) {
+  sessions_[channel->session_id()] = channel;
+}
+
+void Engine::unregister_session(std::uint64_t session_id) {
+  sessions_.erase(session_id);
+}
+
+ChannelPtr Engine::find_session(std::uint64_t session_id) const {
+  const auto it = sessions_.find(session_id);
+  if (it == sessions_.end()) return nullptr;
+  ChannelPtr channel = it->second.lock();
+  if (channel == nullptr) sessions_.erase(it);
+  return channel;
+}
+
+void Engine::on_accept(net::ConnectionPtr connection) {
+  ++stats_.accepted;
+  const std::uint64_t key = connection->id();
+  connection->set_close_handler([this, key] { pending_.erase(key); });
+  connection->set_data_handler([this, key](const Bytes& frame) {
+    const auto it = pending_.find(key);
+    if (it == pending_.end()) return;
+    net::ConnectionPtr conn = std::move(it->second);
+    pending_.erase(it);
+    conn->set_close_handler(nullptr);
+    conn->set_data_handler(nullptr);
+    handle_handshake(std::move(conn), frame);
+  });
+  pending_.emplace(key, std::move(connection));
+}
+
+void Engine::handle_handshake(net::ConnectionPtr connection,
+                              const Bytes& frame) {
+  const auto handshake = wire::decode_handshake(frame);
+  if (!handshake.has_value()) {
+    ++stats_.rejected;
+    (void)connection->write(
+        wire::encode_fail(ErrorCode::kProtocolError, "bad handshake"));
+    connection->close();
+    return;
+  }
+  switch (handshake->command) {
+    case wire::Command::kConnect: {
+      ++stats_.connects;
+      const wire::ConnectRequest& request = handshake->connect;
+      const auto it = service_handlers_.find(request.service);
+      if (it == service_handlers_.end()) {
+        ++stats_.rejected;
+        (void)connection->write(wire::encode_fail(
+            ErrorCode::kNoSuchService, "service not registered: " +
+                                           request.service));
+        connection->close();
+        return;
+      }
+      // The application peer: with a bridged chain the transport remote is
+      // the last bridge, so prefer the pushed client parameters.
+      const MacAddress peer = request.client_params.has_value()
+                                  ? request.client_params->device.mac
+                                  : connection->remote_address().mac;
+      (void)connection->write(wire::encode_ok());
+      auto channel = std::make_shared<Channel>(
+          request.session_id, request.service, peer, std::move(connection));
+      channel->client_params = request.client_params;
+      register_session(channel);
+      it->second(channel, request);
+      return;
+    }
+    case wire::Command::kResume: {
+      ++stats_.resumes;
+      const wire::ConnectRequest& request = handshake->connect;
+      ChannelPtr session = find_session(request.session_id);
+      if (session == nullptr || session->service() != request.service) {
+        ++stats_.rejected;
+        (void)connection->write(wire::encode_fail(
+            ErrorCode::kNoSuchService, "unknown session for resume"));
+        connection->close();
+        return;
+      }
+      (void)connection->write(wire::encode_ok());
+      session->replace_connection(std::move(connection));
+      return;
+    }
+    case wire::Command::kBridge: {
+      ++stats_.bridges;
+      if (!bridge_handler_) {
+        ++stats_.rejected;
+        (void)connection->write(wire::encode_fail(
+            ErrorCode::kNoSuchService, "bridge service disabled"));
+        connection->close();
+        return;
+      }
+      bridge_handler_(std::move(connection), handshake->bridge);
+      return;
+    }
+    default:
+      ++stats_.rejected;
+      connection->close();
+      return;
+  }
+}
+
+}  // namespace peerhood

@@ -1,0 +1,76 @@
+// Engine — the PeerHood class "continuously listening for possible
+// connections in different network technologies" (§4.1). On accept it reads
+// the first frame to identify the connection intention — new connection,
+// bridge connection or connection re-establish — and dispatches accordingly.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "net/network.hpp"
+#include "peerhood/channel.hpp"
+#include "peerhood/protocol.hpp"
+
+namespace peerhood {
+
+class Engine {
+ public:
+  // Application callback for a newly accepted service connection.
+  using ServiceHandler =
+      std::function<void(ChannelPtr, const wire::ConnectRequest&)>;
+  // Bridge-service callback for PH_BRIDGE requests (wired by BridgeService).
+  using BridgeHandler =
+      std::function<void(net::ConnectionPtr, wire::BridgeRequest)>;
+
+  struct Stats {
+    std::uint64_t accepted{0};
+    std::uint64_t connects{0};
+    std::uint64_t resumes{0};
+    std::uint64_t bridges{0};
+    std::uint64_t rejected{0};
+  };
+
+  Engine(net::SimNetwork& network, MacAddress mac);
+  ~Engine();
+
+  Engine(const Engine&) = delete;
+  Engine& operator=(const Engine&) = delete;
+
+  void start(const std::vector<Technology>& technologies);
+  void stop();
+
+  void set_service_handler(std::string service_name, ServiceHandler handler);
+  void remove_service_handler(const std::string& service_name);
+  [[nodiscard]] bool has_service_handler(const std::string& name) const;
+
+  void set_bridge_handler(BridgeHandler handler);
+
+  // Session registry used by PH_RESUME to substitute connections of live
+  // sessions. Sessions are held weakly: a dropped server channel vanishes.
+  void register_session(const ChannelPtr& channel);
+  void unregister_session(std::uint64_t session_id);
+  [[nodiscard]] ChannelPtr find_session(std::uint64_t session_id) const;
+
+  [[nodiscard]] const Stats& stats() const { return stats_; }
+  [[nodiscard]] MacAddress mac() const { return mac_; }
+
+ private:
+  void on_accept(net::ConnectionPtr connection);
+  void handle_handshake(net::ConnectionPtr connection, const Bytes& frame);
+
+  net::SimNetwork& network_;
+  MacAddress mac_;
+  std::vector<Technology> listening_;
+  std::map<std::string, ServiceHandler> service_handlers_;
+  BridgeHandler bridge_handler_;
+  // Accepted connections awaiting their first (handshake) frame.
+  std::map<std::uint64_t, net::ConnectionPtr> pending_;
+  mutable std::map<std::uint64_t, std::weak_ptr<Channel>> sessions_;
+  Stats stats_;
+};
+
+}  // namespace peerhood

@@ -1,0 +1,232 @@
+#include "peerhood/library.hpp"
+
+#include <memory>
+
+#include "common/log.hpp"
+
+namespace peerhood {
+namespace {
+
+// Tracks one in-flight dial: connection attempt + handshake acknowledgement.
+struct DialState {
+  bool done{false};
+  sim::EventId timer{sim::kInvalidEvent};
+};
+
+}  // namespace
+
+std::vector<DeviceRecord> Library::get_device_list() const {
+  return daemon_.storage().snapshot();
+}
+
+std::vector<std::pair<DeviceInfo, ServiceInfo>> Library::get_service_list()
+    const {
+  std::vector<std::pair<DeviceInfo, ServiceInfo>> out;
+  for (const DeviceRecord& record : daemon_.storage().snapshot()) {
+    for (const ServiceInfo& service : record.services) {
+      if (service.attribute == kHiddenAttribute) continue;
+      out.emplace_back(record.device, service);
+    }
+  }
+  return out;
+}
+
+Status Library::register_service(ServiceInfo service,
+                                 Engine::ServiceHandler handler) {
+  Status status = daemon_.register_service(service);
+  if (!status.ok()) return status;
+  daemon_.engine().set_service_handler(service.name, std::move(handler));
+  return Status::ok_status();
+}
+
+void Library::unregister_service(const std::string& name) {
+  daemon_.unregister_service(name);
+  daemon_.engine().remove_service_handler(name);
+}
+
+void Library::dial(const net::NetAddress& hop, Bytes first_frame,
+                   SimDuration timeout,
+                   std::function<void(Result<net::ConnectionPtr>)> done) {
+  sim::Simulator& sim = daemon_.simulator();
+  auto state = std::make_shared<DialState>();
+  auto shared_done =
+      std::make_shared<std::function<void(Result<net::ConnectionPtr>)>>(
+          std::move(done));
+
+  state->timer = sim.schedule_after(timeout, [state, shared_done] {
+    if (state->done) return;
+    state->done = true;
+    (*shared_done)(Error{ErrorCode::kTimeout, "connect timed out"});
+  });
+
+  sim::Simulator* simp = &sim;
+  daemon_.network().connect(
+      daemon_.mac(), hop,
+      [state, shared_done, simp, first_frame = std::move(first_frame)](
+          Result<net::ConnectionPtr> result) mutable {
+        if (state->done) {
+          // Timed out while establishing; release the late connection.
+          if (result.ok()) result.value()->close();
+          return;
+        }
+        if (!result.ok()) {
+          state->done = true;
+          simp->cancel(state->timer);
+          (*shared_done)(result.error());
+          return;
+        }
+        net::ConnectionPtr conn = std::move(result).value();
+        (void)conn->write(std::move(first_frame));
+        // Await the PH_OK / PH_FAIL chain acknowledgement.
+        conn->set_close_handler([state, shared_done, simp] {
+          if (state->done) return;
+          state->done = true;
+          simp->cancel(state->timer);
+          (*shared_done)(Error{ErrorCode::kConnectionClosed,
+                               "closed before acknowledgement"});
+        });
+        conn->set_data_handler([state, shared_done, conn,
+                                simp](const Bytes& frame) {
+          if (state->done) return;
+          state->done = true;
+          simp->cancel(state->timer);
+          conn->set_close_handler(nullptr);
+          conn->set_data_handler(nullptr);
+          const auto handshake = wire::decode_handshake(frame);
+          if (!handshake.has_value()) {
+            conn->close();
+            (*shared_done)(
+                Error{ErrorCode::kProtocolError, "bad acknowledgement"});
+            return;
+          }
+          if (handshake->command == wire::Command::kOk) {
+            (*shared_done)(conn);
+            return;
+          }
+          conn->close();
+          if (handshake->command == wire::Command::kFail) {
+            (*shared_done)(
+                Error{handshake->fail.code, handshake->fail.message});
+          } else {
+            (*shared_done)(Error{ErrorCode::kProtocolError,
+                                 "unexpected acknowledgement command"});
+          }
+        });
+      });
+}
+
+void Library::connect(MacAddress destination, std::string service,
+                      ConnectOptions options, ConnectCallback callback) {
+  sim::Simulator& sim = daemon_.simulator();
+  const auto record = daemon_.storage().find(destination);
+  if (!record.has_value()) {
+    sim.schedule_after(microseconds(1), [callback] {
+      callback(Error{ErrorCode::kNoSuchDevice, "device not in storage"});
+    });
+    return;
+  }
+  if (!options.skip_service_check && !record->provides(service)) {
+    sim.schedule_after(microseconds(1), [callback, service] {
+      callback(Error{ErrorCode::kNoSuchService,
+                     "device does not provide " + service});
+    });
+    return;
+  }
+  if (!record->is_direct() && !options.allow_bridge) {
+    sim.schedule_after(microseconds(1), [callback] {
+      callback(Error{ErrorCode::kNoRoute, "remote device and bridging off"});
+    });
+    return;
+  }
+
+  wire::ConnectRequest request;
+  request.session_id = options.session_id != 0 ? options.session_id
+                                               : daemon_.next_session_id();
+  request.service = service;
+  if (options.include_client_params) {
+    wire::ClientParams params;
+    params.device = daemon_.self_info();
+    params.tech = record->via_tech;
+    params.reconnect_service = options.reconnect_service;
+    request.client_params = std::move(params);
+  }
+
+  Bytes first_frame;
+  net::NetAddress hop;
+  if (record->is_direct()) {
+    hop = net::NetAddress{destination, record->via_tech,
+                          net::kPeerHoodEnginePort};
+    first_frame = wire::encode_connect(request);
+  } else {
+    hop = net::NetAddress{record->bridge, record->via_tech,
+                          net::kPeerHoodEnginePort};
+    wire::BridgeRequest bridge_request;
+    bridge_request.destination = destination;
+    bridge_request.final_command = wire::Command::kConnect;
+    bridge_request.inner = request;
+    first_frame = wire::encode_bridge(bridge_request);
+  }
+
+  const std::uint64_t session_id = request.session_id;
+  dial(hop, std::move(first_frame), options.timeout,
+       [callback, session_id, service, destination](
+           Result<net::ConnectionPtr> result) {
+         if (!result.ok()) {
+           callback(result.error());
+           return;
+         }
+         callback(std::make_shared<Channel>(session_id, service, destination,
+                                            std::move(result).value()));
+       });
+}
+
+void Library::resume_via_bridge(MacAddress bridge, const ChannelPtr& channel,
+                                StatusCallback callback, SimDuration timeout) {
+  const auto record = daemon_.storage().find(bridge);
+  const Technology tech =
+      record.has_value() ? record->via_tech : Technology::kBluetooth;
+
+  wire::ConnectRequest request;
+  request.session_id = channel->session_id();
+  request.service = channel->service();
+
+  wire::BridgeRequest bridge_request;
+  bridge_request.destination = channel->peer();
+  bridge_request.final_command = wire::Command::kResume;
+  bridge_request.inner = std::move(request);
+
+  dial(net::NetAddress{bridge, tech, net::kPeerHoodEnginePort},
+       wire::encode_bridge(bridge_request), timeout,
+       [channel, callback](Result<net::ConnectionPtr> result) {
+         if (!result.ok()) {
+           callback(Status{result.error()});
+           return;
+         }
+         channel->replace_connection(std::move(result).value());
+         callback(Status::ok_status());
+       });
+}
+
+void Library::resume_direct(const ChannelPtr& channel, StatusCallback callback,
+                            SimDuration timeout) {
+  const auto record = daemon_.storage().find(channel->peer());
+  const Technology tech =
+      record.has_value() ? record->via_tech : Technology::kBluetooth;
+
+  wire::ConnectRequest request;
+  request.session_id = channel->session_id();
+  request.service = channel->service();
+
+  dial(net::NetAddress{channel->peer(), tech, net::kPeerHoodEnginePort},
+       wire::encode_resume(request), timeout,
+       [channel, callback](Result<net::ConnectionPtr> result) {
+         if (!result.ok()) {
+           callback(Status{result.error()});
+           return;
+         }
+         channel->replace_connection(std::move(result).value());
+         callback(Status::ok_status());
+       });
+}
+
+}  // namespace peerhood

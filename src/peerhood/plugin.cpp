@@ -1,0 +1,274 @@
+#include "peerhood/plugin.hpp"
+
+#include <algorithm>
+
+#include "common/log.hpp"
+#include "peerhood/daemon.hpp"
+
+namespace peerhood {
+
+Plugin::Plugin(Daemon& daemon, Technology technology)
+    : daemon_{daemon}, tech_{technology} {}
+
+Plugin::~Plugin() { stop(); }
+
+void Plugin::start() {
+  stopped_ = false;
+  const sim::TechnologyParams& params =
+      daemon_.network().medium().params(tech_);
+  // Random initial phase so co-located daemons do not inquire in lock-step.
+  const SimDuration phase =
+      seconds(daemon_.simulator().rng().uniform(
+          0.0, std::chrono::duration<double>(params.inquiry_interval).count()));
+  schedule_next_cycle(phase);
+}
+
+void Plugin::schedule_next_cycle(SimDuration delay) {
+  if (stopped_) return;
+  cycle_event_ = daemon_.simulator().schedule_after(delay, [this] {
+    cycle_event_ = sim::kInvalidEvent;
+    begin_cycle();
+  });
+}
+
+void Plugin::stop() {
+  stopped_ = true;
+  if (cycle_event_ != sim::kInvalidEvent) {
+    daemon_.simulator().cancel(cycle_event_);
+    cycle_event_ = sim::kInvalidEvent;
+  }
+  if (pending_.has_value()) {
+    daemon_.simulator().cancel(pending_->timeout);
+    pending_.reset();
+  }
+  cycle_active_ = false;
+}
+
+void Plugin::trigger_cycle() { begin_cycle(); }
+
+void Plugin::begin_cycle() {
+  if (cycle_active_) return;  // previous cycle overran its interval
+  cycle_active_ = true;
+  ++stats_.loops;
+  sim::RadioMedium& medium = daemon_.network().medium();
+  ++medium.stats().inquiries;
+  medium.set_inquiring(daemon_.mac(), tech_, true);
+  daemon_.simulator().schedule_after(medium.params(tech_).inquiry_duration,
+                                     [this] { end_inquiry(); });
+}
+
+void Plugin::end_inquiry() {
+  sim::RadioMedium& medium = daemon_.network().medium();
+  medium.set_inquiring(daemon_.mac(), tech_, false);
+
+  const std::vector<MacAddress> raw =
+      medium.discoverable_in_range(daemon_.mac(), tech_);
+  medium.stats().inquiry_responses += raw.size();
+  stats_.responders += raw.size();
+
+  cycle_responders_.clear();
+  fetch_queue_.clear();
+  fetch_index_ = 0;
+
+  const SimTime now = daemon_.simulator().now();
+  for (const MacAddress responder : raw) {
+    // SDP query for the PeerHood tag (§2.3).
+    if (!medium.peerhood_tag(responder, tech_)) {
+      ++stats_.non_peerhood;
+      continue;
+    }
+    cycle_responders_.push_back(responder);
+    const auto record = daemon_.storage().find(responder);
+    const bool is_new = !record.has_value() || !record->is_direct();
+    const bool recheck_due =
+        record.has_value() &&
+        now - record->last_seen >= daemon_.config().service_check_interval;
+    if (is_new || recheck_due) {
+      // Full information fetch for new devices and at the service checking
+      // interval (energy saving, §3.5).
+      fetch_queue_.push_back(FetchJob{responder, /*full=*/true});
+    } else {
+      // Known device: refresh only the neighbourhood snapshot (and sample
+      // the link quality) every loop — this is what makes the maximum
+      // notification delay equal jumps x searching cycle (Fig. 3.10).
+      fetch_queue_.push_back(FetchJob{responder, /*full=*/false});
+    }
+  }
+  process_next_responder();
+}
+
+void Plugin::process_next_responder() {
+  if (fetch_index_ >= fetch_queue_.size()) {
+    complete_cycle();
+    return;
+  }
+  const FetchJob job = fetch_queue_[fetch_index_++];
+  auto done = [this, job](std::optional<wire::FetchResponse> resp) {
+    if (resp.has_value()) {
+      integrate_response(job.target, *resp);
+    }
+    process_next_responder();
+  };
+  if (job.full) {
+    fetch_info(job.target, std::move(done));
+  } else {
+    const sim::TechnologyParams& params =
+        daemon_.network().medium().params(tech_);
+    fetch_section(job.target, wire::kSectionNeighbours, params.fetch_time,
+                  std::move(done));
+  }
+}
+
+void Plugin::fetch_info(MacAddress target, FetchCallback done) {
+  const sim::TechnologyParams& params =
+      daemon_.network().medium().params(tech_);
+  if (daemon_.config().unified_fetch) {
+    // One longer connection fetching everything (§3.4.1 suggestion).
+    fetch_section(target, wire::kSectionAll, 2 * params.fetch_time,
+                  std::move(done));
+    return;
+  }
+  // The paper's four short connections (Fig. 3.7), issued sequentially; any
+  // failure aborts the whole fetch for this cycle.
+  auto state = std::make_shared<SplitState>();
+  constexpr std::uint8_t kOrder[4] = {
+      wire::kSectionDevice, wire::kSectionPrototypes, wire::kSectionServices,
+      wire::kSectionNeighbours};
+  auto step = std::make_shared<std::function<void()>>();
+  auto shared_done = std::make_shared<FetchCallback>(std::move(done));
+  *step = [this, target, state, step, shared_done, kOrder, params] {
+    if (state->next_section == 4) {
+      state->assembled.sections = wire::kSectionAll;
+      (*shared_done)(state->assembled);
+      return;
+    }
+    const std::uint8_t section =
+        kOrder[static_cast<std::size_t>(state->next_section)];
+    ++state->next_section;
+    fetch_section(
+        target, section, params.fetch_time,
+        [state, step, shared_done](std::optional<wire::FetchResponse> part) {
+          if (!part.has_value()) {
+            (*shared_done)(std::nullopt);
+            return;
+          }
+          if ((part->sections & wire::kSectionDevice) != 0) {
+            state->assembled.device = part->device;
+          }
+          if ((part->sections & wire::kSectionPrototypes) != 0) {
+            state->assembled.prototypes = part->prototypes;
+          }
+          if ((part->sections & wire::kSectionServices) != 0) {
+            state->assembled.services = part->services;
+          }
+          if ((part->sections & wire::kSectionNeighbours) != 0) {
+            state->assembled.neighbours = part->neighbours;
+          }
+          state->assembled.load_percent = part->load_percent;
+          (*step)();
+        });
+  };
+  (*step)();
+}
+
+void Plugin::fetch_section(MacAddress target, std::uint8_t sections,
+                           SimDuration cost, FetchCallback done) {
+  ++stats_.fetch_attempts;
+  sim::Simulator& sim = daemon_.simulator();
+  const sim::TechnologyParams& params =
+      daemon_.network().medium().params(tech_);
+  // Short-connection establishment fault (the paper found these frequent
+  // "even if the devices have strong enough signal", §4.3).
+  if (sim.rng().bernoulli(params.fetch_failure_prob)) {
+    ++stats_.fetch_failures;
+    sim.schedule_after(cost, [done = std::move(done)] { done(std::nullopt); });
+    return;
+  }
+  const std::uint32_t request_id = next_request_id_++;
+  wire::FetchRequest request{request_id, sections};
+  daemon_.network().send_datagram(daemon_.mac(), target, tech_,
+                                  wire::encode(request));
+  PendingFetch pending;
+  pending.request_id = request_id;
+  pending.done = std::move(done);
+  pending.timeout = sim.schedule_after(cost * 3 + seconds(2.0), [this] {
+    if (!pending_.has_value()) return;
+    ++stats_.fetch_timeouts;
+    FetchCallback cb = std::move(pending_->done);
+    pending_.reset();
+    cb(std::nullopt);
+  });
+  pending_ = std::move(pending);
+}
+
+void Plugin::on_fetch_response(MacAddress /*from*/,
+                               const wire::FetchResponse& response) {
+  if (!pending_.has_value() || pending_->request_id != response.request_id) {
+    return;  // stale or duplicate response
+  }
+  daemon_.simulator().cancel(pending_->timeout);
+  FetchCallback cb = std::move(pending_->done);
+  pending_.reset();
+  cb(response);
+}
+
+void Plugin::integrate_response(MacAddress target,
+                                const wire::FetchResponse& response) {
+  const bool full = (response.sections & wire::kSectionDevice) != 0;
+  if (full && response.device.mac != target) return;  // spoofed
+  sim::RadioMedium& medium = daemon_.network().medium();
+  // RSSI sampled while the fetch connection was up (§3.4.1).
+  int quality = medium.sample_quality(daemon_.mac(), target, tech_);
+  if (quality <= 0) return;  // responder moved away mid-fetch
+  if (daemon_.config().load_derating) {
+    // §4: de-rate the advertised quality by the responder's bridge load to
+    // steer routes away from bottleneck bridges.
+    quality = static_cast<int>(
+        quality * (1.0 - static_cast<double>(response.load_percent) / 100.0));
+    quality = std::max(quality, 1);
+  }
+
+  DeviceRecord direct;
+  if (full) {
+    direct.device = response.device;
+    direct.prototypes = response.prototypes;
+    direct.services = response.services;
+  } else {
+    // Neighbours-only refresh: keep the stored identity and service list.
+    const auto stored = daemon_.storage().find(target);
+    if (!stored.has_value() || !stored->is_direct()) return;
+    direct.device = stored->device;
+    direct.prototypes = stored->prototypes;
+    direct.services = stored->services;
+  }
+  direct.jump = 0;
+  direct.route_mobility = 0;
+  direct.quality_sum = quality;
+  direct.min_link_quality = quality;
+  direct.via_tech = tech_;
+
+  stats_.integrations += static_cast<std::uint64_t>(
+      daemon_.analyzer().integrate(daemon_.storage(), std::move(direct),
+                                   response.neighbours, tech_,
+                                   daemon_.simulator().now()));
+}
+
+void Plugin::complete_cycle() {
+  const auto removed = daemon_.storage().age_direct(
+      tech_, cycle_responders_, daemon_.config().max_missed_loops,
+      daemon_.simulator().now());
+  stats_.removed_devices += removed.size();
+  cycle_active_ = false;
+  // Jittered rescheduling: inquiry windows must slide relative to the
+  // neighbours' windows, otherwise two devices whose windows permanently
+  // overlap would never discover each other under the Bluetooth inquiry
+  // asymmetry (§3.4.2 — the paper observes only *occasional* misses).
+  const sim::TechnologyParams& params =
+      daemon_.network().medium().params(tech_);
+  const double jitter = daemon_.simulator().rng().uniform(0.7, 1.1);
+  const double base =
+      std::chrono::duration<double>(params.inquiry_interval).count();
+  schedule_next_cycle(seconds(base * jitter));
+}
+
+}  // namespace peerhood

@@ -1,0 +1,103 @@
+// Network plugin — one per technology (BTPlugin / WLANPlugin / GPRSPlugin in
+// the paper). Runs the inquiry loop of Fig. 3.12: inquire, collect
+// responses, check the PeerHood tag (SDP), fetch information for new or
+// recheck-due devices, analyse their neighbourhood snapshots (Fig. 3.13) and
+// age the storage with time stamps. Implements the Bluetooth inquiry
+// asymmetry: while inquiring the device is itself undiscoverable (§3.4.2).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <vector>
+
+#include "common/mac_address.hpp"
+#include "peerhood/protocol.hpp"
+#include "sim/simulator.hpp"
+
+namespace peerhood {
+
+class Daemon;
+
+class Plugin {
+ public:
+  struct Stats {
+    std::uint64_t loops{0};
+    std::uint64_t responders{0};
+    std::uint64_t non_peerhood{0};
+    std::uint64_t fetch_attempts{0};
+    std::uint64_t fetch_failures{0};
+    std::uint64_t fetch_timeouts{0};
+    std::uint64_t integrations{0};
+    std::uint64_t removed_devices{0};
+  };
+
+  Plugin(Daemon& daemon, Technology technology);
+  ~Plugin();
+
+  Plugin(const Plugin&) = delete;
+  Plugin& operator=(const Plugin&) = delete;
+
+  void start();
+  void stop();
+
+  [[nodiscard]] Technology technology() const { return tech_; }
+  [[nodiscard]] const Stats& stats() const { return stats_; }
+  [[nodiscard]] bool cycle_active() const { return cycle_active_; }
+
+  // Routed here by the daemon's datagram dispatcher.
+  void on_fetch_response(MacAddress from, const wire::FetchResponse& response);
+
+  // Triggers one inquiry cycle immediately (tests/benches).
+  void trigger_cycle();
+
+ private:
+  using FetchCallback =
+      std::function<void(std::optional<wire::FetchResponse>)>;
+
+  void begin_cycle();
+  void end_inquiry();
+  void process_next_responder();
+  // Issues the information fetch for one device: either the unified single
+  // exchange or the paper's four short exchanges (§3.4.1).
+  void fetch_info(MacAddress target, FetchCallback done);
+  void fetch_section(MacAddress target, std::uint8_t sections,
+                     SimDuration cost, FetchCallback done);
+  void integrate_response(MacAddress target,
+                          const wire::FetchResponse& response);
+  void complete_cycle();
+  void schedule_next_cycle(SimDuration delay);
+
+  Daemon& daemon_;
+  Technology tech_;
+  sim::EventId cycle_event_{sim::kInvalidEvent};
+  bool stopped_{true};
+  bool cycle_active_{false};
+
+  // Per-cycle state.
+  struct FetchJob {
+    MacAddress target;
+    bool full{true};  // full info fetch vs neighbours-only refresh
+  };
+  std::vector<FetchJob> fetch_queue_;
+  std::vector<MacAddress> cycle_responders_;
+  std::size_t fetch_index_{0};
+
+  struct PendingFetch {
+    std::uint32_t request_id{0};
+    sim::EventId timeout{sim::kInvalidEvent};
+    FetchCallback done;
+  };
+  std::optional<PendingFetch> pending_;
+  std::uint32_t next_request_id_{1};
+
+  // Split-fetch assembly state.
+  struct SplitState {
+    wire::FetchResponse assembled;
+    int next_section{0};
+  };
+
+  Stats stats_;
+};
+
+}  // namespace peerhood

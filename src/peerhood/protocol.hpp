@@ -1,0 +1,134 @@
+// PeerHood wire protocol.
+//
+// Two planes, mirroring the paper:
+//  * Discovery datagrams — the short information-fetch exchanges of the
+//    inquiry thread (Fig. 3.7: device / prototype / service / neighbourhood
+//    information), carrying the responder's DeviceStorage snapshot.
+//  * Connection handshakes — the first frame on a new connection identifies
+//    the intention ("new connection, bridge connection or connection
+//    re-establish", §4.1): PH_CONNECT, PH_BRIDGE (+ destination address and
+//    service name, Fig. 4.3) or PH_RESUME, answered by PH_OK / PH_FAIL.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/bytes.hpp"
+#include "common/mac_address.hpp"
+#include "common/result.hpp"
+#include "discovery/analyzer.hpp"
+#include "discovery/device.hpp"
+
+namespace peerhood::wire {
+
+// ---------------------------------------------------------------------------
+// Commands (first byte of a message in either plane).
+enum class Command : std::uint8_t {
+  kFetchRequest = 1,
+  kFetchResponse = 2,
+  kConnect = 10,  // PH_CONNECT
+  kBridge = 11,   // PH_BRIDGE
+  kResume = 12,   // connection re-establish
+  kOk = 13,       // PH_OK
+  kFail = 14,     // PH_FAIL
+};
+
+// Sections of a fetch request/response; the paper issues four short
+// connections (Fig. 3.7) or one unified connection (§3.4.1 suggestion).
+enum Section : std::uint8_t {
+  kSectionDevice = 1,
+  kSectionPrototypes = 2,
+  kSectionServices = 4,
+  kSectionNeighbours = 8,
+  kSectionAll = 15,
+};
+
+// ---------------------------------------------------------------------------
+// Discovery plane.
+struct FetchRequest {
+  std::uint32_t request_id{0};
+  std::uint8_t sections{kSectionAll};
+};
+
+struct FetchResponse {
+  std::uint32_t request_id{0};
+  std::uint8_t sections{0};
+  // Responder's bridge occupancy percentage (0-100); used by the optional
+  // load-derating of advertised link quality (§4: "bottle neck" avoidance).
+  std::uint8_t load_percent{0};
+  DeviceInfo device;
+  std::vector<Technology> prototypes;
+  std::vector<ServiceInfo> services;
+  std::vector<NeighbourSnapshotEntry> neighbours;
+};
+
+[[nodiscard]] Bytes encode(const FetchRequest& request);
+[[nodiscard]] Bytes encode(const FetchResponse& response);
+
+// ---------------------------------------------------------------------------
+// Connection plane.
+
+// Reconnection parameters a client may push at connection start so that the
+// server can call back after processing (§5.3 Method 2: "prototype, Pid
+// number, service name, checksum, device name and port number are sent in
+// the beginning of the connection").
+struct ClientParams {
+  DeviceInfo device;
+  Technology tech{Technology::kBluetooth};
+  std::string reconnect_service;
+  std::uint16_t port{0};
+
+  friend bool operator==(const ClientParams&, const ClientParams&) = default;
+};
+
+struct ConnectRequest {
+  std::uint64_t session_id{0};
+  std::string service;
+  std::optional<ClientParams> client_params;
+};
+
+struct BridgeRequest {
+  MacAddress destination;
+  // What the last bridge sends to the final device: a fresh PH_CONNECT or a
+  // PH_RESUME that substitutes an existing session.
+  Command final_command{Command::kConnect};
+  ConnectRequest inner;
+};
+
+struct FailInfo {
+  ErrorCode code{ErrorCode::kConnectionFailed};
+  std::string message;
+};
+
+// A decoded first-frame handshake or control response.
+struct Handshake {
+  Command command{Command::kOk};
+  ConnectRequest connect;  // valid for kConnect / kResume
+  BridgeRequest bridge;    // valid for kBridge
+  FailInfo fail;           // valid for kFail
+};
+
+[[nodiscard]] Bytes encode_connect(const ConnectRequest& request);
+[[nodiscard]] Bytes encode_resume(const ConnectRequest& request);
+[[nodiscard]] Bytes encode_bridge(const BridgeRequest& request);
+[[nodiscard]] Bytes encode_ok();
+[[nodiscard]] Bytes encode_fail(ErrorCode code, std::string_view message);
+
+// Decoders return nullopt on malformed input (remote peers are untrusted).
+[[nodiscard]] std::optional<Handshake> decode_handshake(const Bytes& frame);
+[[nodiscard]] std::optional<FetchRequest> decode_fetch_request(
+    const Bytes& payload);
+[[nodiscard]] std::optional<FetchResponse> decode_fetch_response(
+    const Bytes& payload);
+// Peeks the command byte of a datagram payload.
+[[nodiscard]] std::optional<Command> peek_command(const Bytes& payload);
+
+// Shared sub-encoders (exposed for tests).
+void encode_device(ByteWriter& writer, const DeviceInfo& device);
+[[nodiscard]] DeviceInfo decode_device(ByteReader& reader);
+void encode_service(ByteWriter& writer, const ServiceInfo& service);
+[[nodiscard]] ServiceInfo decode_service(ByteReader& reader);
+
+}  // namespace peerhood::wire

@@ -1,0 +1,117 @@
+#include "peerhood/reliable_channel.hpp"
+
+#include "common/bytes.hpp"
+
+namespace peerhood {
+namespace {
+
+// Frame tags on the wire (distinct from migration framing; a channel uses
+// either plain frames or a ReliableChannel on both ends).
+constexpr std::uint8_t kTagData = 0xD1;
+constexpr std::uint8_t kTagAck = 0xD2;
+
+}  // namespace
+
+ReliableChannel::ReliableChannel(sim::Simulator& sim, ChannelPtr channel,
+                                 ReliableConfig config)
+    : sim_{sim}, channel_{std::move(channel)}, config_{config} {
+  channel_->set_data_handler([this](const Bytes& frame) { on_frame(frame); });
+  channel_->set_handover_handler(
+      [this](const net::ConnectionPtr&) { resync(); });
+  retransmit_timer_.start(sim_, config_.retransmit_interval,
+                          [this] { retransmit_tail(); },
+                          config_.retransmit_interval);
+}
+
+ReliableChannel::~ReliableChannel() {
+  retransmit_timer_.stop();
+  sim_.cancel(ack_timer_);
+}
+
+Status ReliableChannel::send(Bytes frame) {
+  if (outbox_.size() >= config_.window) {
+    return Status{ErrorCode::kCapacityExceeded, "reliable window full"};
+  }
+  const std::uint64_t seq = next_seq_++;
+  outbox_.emplace(seq, frame);
+  transmit(seq, frame);
+  return Status::ok_status();
+}
+
+void ReliableChannel::transmit(std::uint64_t seq, const Bytes& payload) {
+  ByteWriter writer;
+  writer.u8(kTagData);
+  writer.u64(seq);
+  writer.blob(payload);
+  // A failed write is fine: the frame stays in the outbox and the
+  // retransmit timer (or post-handover resync) tries again.
+  (void)channel_->write(std::move(writer).take());
+}
+
+void ReliableChannel::set_data_handler(DataHandler handler) {
+  data_handler_ = std::move(handler);
+}
+
+void ReliableChannel::on_frame(const Bytes& frame) {
+  ByteReader reader{frame};
+  const std::uint8_t tag = reader.u8();
+  if (tag == kTagData) {
+    const std::uint64_t seq = reader.u64();
+    Bytes payload = reader.blob();
+    if (!reader.ok()) return;
+    if (seq >= expected_) {
+      reorder_.emplace(seq, std::move(payload));
+      // Deliver the contiguous prefix.
+      while (!reorder_.empty() && reorder_.begin()->first == expected_) {
+        Bytes next = std::move(reorder_.begin()->second);
+        reorder_.erase(reorder_.begin());
+        ++expected_;
+        ++delivered_;
+        if (data_handler_) data_handler_(next);
+      }
+    }
+    // Duplicate or old frame: just (re)ack.
+    if (!ack_pending_) {
+      ack_pending_ = true;
+      ack_timer_ = sim_.schedule_after(config_.ack_delay,
+                                       [this] { flush_ack(); });
+    }
+    return;
+  }
+  if (tag == kTagAck) {
+    const std::uint64_t cumulative = reader.u64();
+    if (!reader.ok()) return;
+    // Everything below `cumulative` is delivered at the peer.
+    outbox_.erase(outbox_.begin(), outbox_.lower_bound(cumulative));
+    return;
+  }
+}
+
+void ReliableChannel::flush_ack() {
+  ack_pending_ = false;
+  ByteWriter writer;
+  writer.u8(kTagAck);
+  writer.u64(expected_);
+  (void)channel_->write(std::move(writer).take());
+}
+
+void ReliableChannel::retransmit_tail() {
+  if (!channel_->open()) return;
+  for (const auto& [seq, payload] : outbox_) {
+    ++retransmissions_;
+    transmit(seq, payload);
+  }
+}
+
+void ReliableChannel::resync() {
+  if (ack_pending_) {
+    sim_.cancel(ack_timer_);
+    flush_ack();
+  }
+  for (const auto& [seq, payload] : outbox_) {
+    ++retransmissions_;
+    transmit(seq, payload);
+  }
+}
+
+}  // namespace peerhood

@@ -1,0 +1,44 @@
+#include "sim/event_queue.hpp"
+
+#include <cassert>
+#include <utility>
+
+namespace peerhood::sim {
+
+EventId EventQueue::schedule(SimTime at, std::function<void()> action) {
+  const EventId id = next_id_++;
+  heap_.push(Entry{at, next_seq_++, id});
+  actions_.emplace(id, std::move(action));
+  ++live_count_;
+  return id;
+}
+
+void EventQueue::cancel(EventId id) {
+  if (actions_.erase(id) > 0) --live_count_;
+}
+
+void EventQueue::drop_cancelled() const {
+  while (!heap_.empty() && !actions_.contains(heap_.top().id)) {
+    heap_.pop();
+  }
+}
+
+SimTime EventQueue::next_time() const {
+  drop_cancelled();
+  assert(!heap_.empty());
+  return heap_.top().at;
+}
+
+SimTime EventQueue::run_next() {
+  drop_cancelled();
+  assert(!heap_.empty());
+  const Entry entry = heap_.top();
+  heap_.pop();
+  auto node = actions_.extract(entry.id);
+  assert(!node.empty());
+  --live_count_;
+  node.mapped()();
+  return entry.at;
+}
+
+}  // namespace peerhood::sim

@@ -1,0 +1,56 @@
+// Discrete-event scheduler. Events fire in (time, insertion-order) order;
+// cancellation is O(1) (lazy removal when the event surfaces).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <unordered_map>
+#include <vector>
+
+#include "common/sim_time.hpp"
+
+namespace peerhood::sim {
+
+using EventId = std::uint64_t;
+inline constexpr EventId kInvalidEvent = 0;
+
+class EventQueue {
+ public:
+  EventId schedule(SimTime at, std::function<void()> action);
+
+  // Cancels a pending event. Safe to call on already-fired or invalid ids.
+  void cancel(EventId id);
+
+  [[nodiscard]] bool empty() const { return live_count_ == 0; }
+  [[nodiscard]] std::size_t size() const { return live_count_; }
+
+  // Time of the earliest pending event; only valid when !empty().
+  [[nodiscard]] SimTime next_time() const;
+
+  // Pops and runs the earliest event; returns its scheduled time.
+  SimTime run_next();
+
+ private:
+  struct Entry {
+    SimTime at;
+    std::uint64_t seq;
+    EventId id;
+
+    // Min-heap ordering: earlier time first, then insertion order.
+    friend bool operator>(const Entry& a, const Entry& b) {
+      if (a.at != b.at) return a.at > b.at;
+      return a.seq > b.seq;
+    }
+  };
+
+  void drop_cancelled() const;
+
+  mutable std::priority_queue<Entry, std::vector<Entry>, std::greater<>> heap_;
+  std::unordered_map<EventId, std::function<void()>> actions_;
+  std::uint64_t next_seq_{1};
+  EventId next_id_{1};
+  std::size_t live_count_{0};
+};
+
+}  // namespace peerhood::sim

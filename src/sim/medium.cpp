@@ -1,0 +1,166 @@
+#include "sim/medium.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <limits>
+
+namespace peerhood::sim {
+
+RadioMedium::RadioMedium(Simulator& sim, LinkQualityModel quality_model)
+    : sim_{sim}, quality_model_{quality_model}, noise_rng_{sim.fork_rng()} {
+  for (const Technology tech : {Technology::kBluetooth, Technology::kWlan,
+                                Technology::kGprs}) {
+    configure(default_params(tech));
+  }
+}
+
+void RadioMedium::configure(const TechnologyParams& params) {
+  params_[static_cast<std::uint8_t>(params.tech)] = params;
+}
+
+const TechnologyParams& RadioMedium::params(Technology tech) const {
+  const auto it = params_.find(static_cast<std::uint8_t>(tech));
+  assert(it != params_.end());
+  return it->second;
+}
+
+void RadioMedium::register_endpoint(
+    MacAddress mac, Technology tech,
+    std::shared_ptr<const MobilityModel> mobility, FrameHandler handler) {
+  assert(mobility != nullptr);
+  Endpoint endpoint;
+  endpoint.mac = mac;
+  endpoint.tech = tech;
+  endpoint.mobility = std::move(mobility);
+  endpoint.handler = std::move(handler);
+  endpoints_.insert_or_assign(key(mac, tech), std::move(endpoint));
+}
+
+void RadioMedium::unregister_endpoint(MacAddress mac, Technology tech) {
+  endpoints_.erase(key(mac, tech));
+}
+
+bool RadioMedium::has_endpoint(MacAddress mac, Technology tech) const {
+  return endpoints_.contains(key(mac, tech));
+}
+
+const RadioMedium::Endpoint* RadioMedium::find(MacAddress mac,
+                                               Technology tech) const {
+  const auto it = endpoints_.find(key(mac, tech));
+  return it == endpoints_.end() ? nullptr : &it->second;
+}
+
+RadioMedium::Endpoint* RadioMedium::find(MacAddress mac, Technology tech) {
+  const auto it = endpoints_.find(key(mac, tech));
+  return it == endpoints_.end() ? nullptr : &it->second;
+}
+
+void RadioMedium::set_discoverable(MacAddress mac, Technology tech,
+                                   bool discoverable) {
+  if (Endpoint* e = find(mac, tech)) e->discoverable = discoverable;
+}
+
+void RadioMedium::set_inquiring(MacAddress mac, Technology tech,
+                                bool inquiring) {
+  if (Endpoint* e = find(mac, tech)) e->inquiring = inquiring;
+}
+
+void RadioMedium::set_peerhood_tag(MacAddress mac, Technology tech,
+                                   bool tagged) {
+  if (Endpoint* e = find(mac, tech)) e->peerhood_tag = tagged;
+}
+
+bool RadioMedium::peerhood_tag(MacAddress mac, Technology tech) const {
+  const Endpoint* e = find(mac, tech);
+  return e != nullptr && e->peerhood_tag;
+}
+
+std::optional<Vec2> RadioMedium::position_of(MacAddress mac,
+                                             Technology tech) const {
+  const Endpoint* e = find(mac, tech);
+  if (e == nullptr) return std::nullopt;
+  return e->mobility->position_at(sim_.now());
+}
+
+double RadioMedium::distance(MacAddress a, MacAddress b,
+                             Technology tech) const {
+  const auto pa = position_of(a, tech);
+  const auto pb = position_of(b, tech);
+  if (!pa || !pb) return std::numeric_limits<double>::infinity();
+  return sim::distance(*pa, *pb);
+}
+
+bool RadioMedium::in_range(MacAddress a, MacAddress b, Technology tech) const {
+  return distance(a, b, tech) <= params(tech).range_m;
+}
+
+int RadioMedium::sample_quality(MacAddress a, MacAddress b, Technology tech) {
+  const double d = distance(a, b, tech);
+  return quality_model_.quality(d, params(tech).range_m, &noise_rng_);
+}
+
+int RadioMedium::expected_quality(MacAddress a, MacAddress b,
+                                  Technology tech) const {
+  const double d = distance(a, b, tech);
+  return quality_model_.quality(d, params(tech).range_m, nullptr);
+}
+
+std::vector<MacAddress> RadioMedium::in_range_of(MacAddress mac,
+                                                 Technology tech) const {
+  std::vector<MacAddress> out;
+  const auto origin = position_of(mac, tech);
+  if (!origin) return out;
+  const double range = params(tech).range_m;
+  for (const auto& [k, endpoint] : endpoints_) {
+    if (endpoint.tech != tech || endpoint.mac == mac) continue;
+    const Vec2 pos = endpoint.mobility->position_at(sim_.now());
+    if (sim::distance(*origin, pos) <= range) out.push_back(endpoint.mac);
+  }
+  return out;
+}
+
+std::vector<MacAddress> RadioMedium::discoverable_in_range(
+    MacAddress mac, Technology tech) const {
+  const bool asymmetric = params(tech).asymmetric_discovery;
+  std::vector<MacAddress> out;
+  for (const MacAddress peer : in_range_of(mac, tech)) {
+    const Endpoint* e = find(peer, tech);
+    if (e == nullptr || !e->discoverable) continue;
+    // Bluetooth asymmetry: a device busy inquiring does not answer inquiries.
+    if (asymmetric && e->inquiring) continue;
+    out.push_back(peer);
+  }
+  return out;
+}
+
+void RadioMedium::send_frame(MacAddress from, MacAddress to, Technology tech,
+                             Bytes frame) {
+  ++stats_.frames;
+  stats_.frame_bytes += frame.size();
+  const TechnologyParams& p = params(tech);
+  if (!in_range(from, to, tech)) {
+    ++stats_.drops;
+    return;
+  }
+  const SimDuration tx_time =
+      seconds(static_cast<double>(frame.size()) / p.bytes_per_second);
+  SimTime deliver_at = sim_.now() + p.per_hop_latency + tx_time;
+
+  const auto dir_key = std::tuple{from.as_u64(), to.as_u64(),
+                                  static_cast<std::uint8_t>(tech)};
+  auto& last = last_delivery_[dir_key];
+  if (deliver_at <= last) deliver_at = last + microseconds(1);
+  last = deliver_at;
+
+  sim_.schedule_at(
+      deliver_at, [this, from, to, tech, frame = std::move(frame)]() {
+        const Endpoint* e = find(to, tech);
+        if (e == nullptr || !in_range(from, to, tech)) {
+          ++stats_.drops;
+          return;
+        }
+        if (e->handler) e->handler(from, frame);
+      });
+}
+
+}  // namespace peerhood::sim

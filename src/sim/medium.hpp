@@ -1,0 +1,126 @@
+// The shared radio medium: tracks every (device, technology) endpoint, its
+// mobility, discoverability and inquiry state, answers range/quality queries
+// and delivers unicast frames with per-technology latency, bandwidth and
+// in-order guarantees. Everything above (sockets, plugins, daemon) is built
+// on these primitives.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "common/bytes.hpp"
+#include "common/mac_address.hpp"
+#include "sim/mobility.hpp"
+#include "sim/radio.hpp"
+#include "sim/simulator.hpp"
+#include "sim/vec2.hpp"
+
+namespace peerhood::sim {
+
+struct TrafficStats {
+  std::uint64_t inquiries{0};
+  std::uint64_t inquiry_responses{0};
+  std::uint64_t frames{0};
+  std::uint64_t frame_bytes{0};
+  std::uint64_t drops{0};
+};
+
+class RadioMedium {
+ public:
+  using FrameHandler =
+      std::function<void(MacAddress from, const Bytes& frame)>;
+
+  explicit RadioMedium(Simulator& sim, LinkQualityModel quality_model = {});
+
+  RadioMedium(const RadioMedium&) = delete;
+  RadioMedium& operator=(const RadioMedium&) = delete;
+
+  // Replaces the parameter set for one technology (defaults are installed
+  // for all three at construction).
+  void configure(const TechnologyParams& params);
+  [[nodiscard]] const TechnologyParams& params(Technology tech) const;
+  [[nodiscard]] const LinkQualityModel& quality_model() const {
+    return quality_model_;
+  }
+
+  // --- Endpoint registry ---------------------------------------------------
+  void register_endpoint(MacAddress mac, Technology tech,
+                         std::shared_ptr<const MobilityModel> mobility,
+                         FrameHandler handler);
+  void unregister_endpoint(MacAddress mac, Technology tech);
+  [[nodiscard]] bool has_endpoint(MacAddress mac, Technology tech) const;
+
+  void set_discoverable(MacAddress mac, Technology tech, bool discoverable);
+  void set_inquiring(MacAddress mac, Technology tech, bool inquiring);
+  // The "PeerHood tag" found via SDP query (§2.3); endpoints without it are
+  // detected but not PeerHood capable.
+  void set_peerhood_tag(MacAddress mac, Technology tech, bool tagged);
+  [[nodiscard]] bool peerhood_tag(MacAddress mac, Technology tech) const;
+
+  // --- Geometry / link quality ---------------------------------------------
+  [[nodiscard]] std::optional<Vec2> position_of(MacAddress mac,
+                                                Technology tech) const;
+  [[nodiscard]] double distance(MacAddress a, MacAddress b,
+                                Technology tech) const;
+  [[nodiscard]] bool in_range(MacAddress a, MacAddress b,
+                              Technology tech) const;
+  // Noisy sample of the RSSI-style quality (0 when out of range / missing).
+  [[nodiscard]] int sample_quality(MacAddress a, MacAddress b,
+                                   Technology tech);
+  // Noise-free quality (for analytical benches).
+  [[nodiscard]] int expected_quality(MacAddress a, MacAddress b,
+                                     Technology tech) const;
+
+  // Endpoints (other than `mac`) currently within radio range.
+  [[nodiscard]] std::vector<MacAddress> in_range_of(MacAddress mac,
+                                                    Technology tech) const;
+  // As above, but honouring discoverability and the Bluetooth inquiry
+  // asymmetry: a device that is itself inquiring does not respond (§3.4.2).
+  [[nodiscard]] std::vector<MacAddress> discoverable_in_range(
+      MacAddress mac, Technology tech) const;
+
+  // --- Frame transport -------------------------------------------------------
+  // Unicast, in-order per (from,to,tech) direction. The frame is dropped
+  // (stats.drops++) if the peers are out of range at delivery time.
+  void send_frame(MacAddress from, MacAddress to, Technology tech,
+                  Bytes frame);
+
+  [[nodiscard]] TrafficStats& stats() { return stats_; }
+  [[nodiscard]] Simulator& simulator() { return sim_; }
+
+ private:
+  struct Endpoint {
+    MacAddress mac;
+    Technology tech;
+    std::shared_ptr<const MobilityModel> mobility;
+    FrameHandler handler;
+    bool discoverable{true};
+    bool inquiring{false};
+    bool peerhood_tag{true};
+  };
+
+  using Key = std::pair<std::uint64_t, std::uint8_t>;  // (mac, tech)
+  [[nodiscard]] static Key key(MacAddress mac, Technology tech) {
+    return {mac.as_u64(), static_cast<std::uint8_t>(tech)};
+  }
+
+  [[nodiscard]] const Endpoint* find(MacAddress mac, Technology tech) const;
+  [[nodiscard]] Endpoint* find(MacAddress mac, Technology tech);
+
+  Simulator& sim_;
+  LinkQualityModel quality_model_;
+  Rng noise_rng_;
+  std::map<Key, Endpoint> endpoints_;
+  std::map<std::uint8_t, TechnologyParams> params_;
+  // Last scheduled delivery per directed (from, to, tech) — preserves frame
+  // ordering within a direction.
+  std::map<std::tuple<std::uint64_t, std::uint64_t, std::uint8_t>, SimTime>
+      last_delivery_;
+  TrafficStats stats_;
+};
+
+}  // namespace peerhood::sim

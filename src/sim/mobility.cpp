@@ -1,0 +1,67 @@
+#include "sim/mobility.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace peerhood::sim {
+
+WaypointPath::WaypointPath(std::vector<Waypoint> waypoints)
+    : waypoints_{std::move(waypoints)} {
+  assert(!waypoints_.empty());
+  assert(std::is_sorted(
+      waypoints_.begin(), waypoints_.end(),
+      [](const Waypoint& a, const Waypoint& b) { return a.at < b.at; }));
+}
+
+Vec2 WaypointPath::position_at(SimTime t) const {
+  if (t <= waypoints_.front().at) return waypoints_.front().position;
+  if (t >= waypoints_.back().at) return waypoints_.back().position;
+  // Find the segment [prev, next] containing t.
+  const auto next = std::upper_bound(
+      waypoints_.begin(), waypoints_.end(), t,
+      [](SimTime value, const Waypoint& w) { return value < w.at; });
+  const auto prev = next - 1;
+  const double span = (next->at - prev->at).count() * 1e-6;
+  if (span <= 0.0) return next->position;
+  const double alpha = (t - prev->at).count() * 1e-6 / span;
+  return prev->position + (next->position - prev->position) * alpha;
+}
+
+RandomWaypoint::RandomWaypoint(Config config, Vec2 start, Rng rng)
+    : config_{config}, rng_{rng} {
+  segments_.push_back(
+      Segment{SimTime::zero(), SimTime::zero() + config_.pause, start, start});
+}
+
+void RandomWaypoint::extend_until(SimTime t) const {
+  while (segments_.back().arrive < t) {
+    const Segment& last = segments_.back();
+    const Vec2 target{rng_.uniform(config_.area_min.x, config_.area_max.x),
+                      rng_.uniform(config_.area_min.y, config_.area_max.y)};
+    const double speed =
+        rng_.uniform(config_.speed_min_mps, config_.speed_max_mps);
+    const double dist = distance(last.to, target);
+    const SimTime depart = last.arrive;
+    const SimTime arrive =
+        depart + seconds(speed > 0.0 ? dist / speed : 0.0) + config_.pause;
+    segments_.push_back(Segment{depart, arrive, last.to, target});
+  }
+}
+
+Vec2 RandomWaypoint::position_at(SimTime t) const {
+  extend_until(t);
+  // Walk backwards: recent queries dominate.
+  auto it = std::find_if(segments_.rbegin(), segments_.rend(),
+                         [t](const Segment& s) { return s.depart <= t; });
+  assert(it != segments_.rend());
+  const Segment& seg = *it;
+  const double travel =
+      (seg.arrive - seg.depart).count() * 1e-6 -
+      std::chrono::duration<double>(config_.pause).count();
+  if (travel <= 0.0) return seg.to;
+  const double elapsed = (t - seg.depart).count() * 1e-6;
+  const double alpha = std::clamp(elapsed / travel, 0.0, 1.0);
+  return seg.from + (seg.to - seg.from) * alpha;
+}
+
+}  // namespace peerhood::sim

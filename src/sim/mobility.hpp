@@ -1,0 +1,105 @@
+// Mobility models. Each simulated device owns one model; the radio medium
+// samples positions lazily at the current simulation time. Models cover the
+// paper's scenarios: fixed servers (static), the corridor walk of §5.2.1
+// (linear / waypoint), and random office movement (random waypoint).
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "common/sim_time.hpp"
+#include "sim/vec2.hpp"
+
+namespace peerhood::sim {
+
+class MobilityModel {
+ public:
+  virtual ~MobilityModel() = default;
+
+  [[nodiscard]] virtual Vec2 position_at(SimTime t) const = 0;
+};
+
+// Fixed device (the paper's "static" terminals: PCs, servers).
+class StaticPosition final : public MobilityModel {
+ public:
+  explicit StaticPosition(Vec2 position) : position_{position} {}
+
+  [[nodiscard]] Vec2 position_at(SimTime) const override { return position_; }
+
+ private:
+  Vec2 position_;
+};
+
+// Constant-velocity motion from `start` beginning at `departure`; models the
+// walking-away scenarios of Fig. 5.4 and §5.2.1.
+class LinearMotion final : public MobilityModel {
+ public:
+  LinearMotion(Vec2 start, Vec2 velocity_mps,
+               SimTime departure = SimTime::zero())
+      : start_{start}, velocity_{velocity_mps}, departure_{departure} {}
+
+  [[nodiscard]] Vec2 position_at(SimTime t) const override {
+    if (t <= departure_) return start_;
+    const double dt = (t - departure_).count() * 1e-6;
+    return start_ + velocity_ * dt;
+  }
+
+ private:
+  Vec2 start_;
+  Vec2 velocity_;
+  SimTime departure_;
+};
+
+// Piecewise-linear path through timestamped waypoints; holds the last
+// waypoint after the path ends. Used to script walks (leave office, enter
+// corridor, come back — Fig. 5.6/5.7).
+class WaypointPath final : public MobilityModel {
+ public:
+  struct Waypoint {
+    SimTime at;
+    Vec2 position;
+  };
+
+  // Waypoints must be sorted by time and non-empty.
+  explicit WaypointPath(std::vector<Waypoint> waypoints);
+
+  [[nodiscard]] Vec2 position_at(SimTime t) const override;
+
+ private:
+  std::vector<Waypoint> waypoints_;
+};
+
+// Random-waypoint model inside a rectangular area: pick a target uniformly,
+// walk to it at a uniform speed, pause, repeat. Segments are generated
+// on demand from a private deterministic stream.
+class RandomWaypoint final : public MobilityModel {
+ public:
+  struct Config {
+    Vec2 area_min{0.0, 0.0};
+    Vec2 area_max{100.0, 100.0};
+    double speed_min_mps{0.5};
+    double speed_max_mps{1.5};
+    SimDuration pause{std::chrono::seconds{2}};
+  };
+
+  RandomWaypoint(Config config, Vec2 start, Rng rng);
+
+  [[nodiscard]] Vec2 position_at(SimTime t) const override;
+
+ private:
+  struct Segment {
+    SimTime depart;
+    SimTime arrive;
+    Vec2 from;
+    Vec2 to;
+  };
+
+  void extend_until(SimTime t) const;
+
+  Config config_;
+  mutable Rng rng_;
+  mutable std::vector<Segment> segments_;
+};
+
+}  // namespace peerhood::sim

@@ -1,0 +1,3 @@
+// Header-only kernel; this TU exists so the library has a home for future
+// out-of-line definitions and to validate the header standalone.
+#include "sim/simulator.hpp"

@@ -1,0 +1,120 @@
+// The simulation kernel: a virtual clock plus the event queue. All PeerHood
+// "threads" from the paper (inquiry, advertise, handover monitor, bridge main
+// loop) are cooperative tasks scheduled here — deterministic and replayable
+// (C++ Core Guidelines CP.4: think in terms of tasks, not threads).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+#include "common/rng.hpp"
+#include "common/sim_time.hpp"
+#include "sim/event_queue.hpp"
+
+namespace peerhood::sim {
+
+class Simulator {
+ public:
+  explicit Simulator(std::uint64_t seed) : rng_{seed} {}
+
+  Simulator(const Simulator&) = delete;
+  Simulator& operator=(const Simulator&) = delete;
+
+  [[nodiscard]] SimTime now() const { return now_; }
+
+  EventId schedule_at(SimTime at, std::function<void()> action) {
+    return queue_.schedule(at < now_ ? now_ : at, std::move(action));
+  }
+
+  EventId schedule_after(SimDuration delay, std::function<void()> action) {
+    return queue_.schedule(now_ + delay, std::move(action));
+  }
+
+  void cancel(EventId id) { queue_.cancel(id); }
+
+  // Runs a single event; returns false when the queue is empty. The clock
+  // advances *before* the event runs so callbacks observe the fire time.
+  bool step() {
+    if (queue_.empty()) return false;
+    now_ = queue_.next_time();
+    (void)queue_.run_next();
+    return true;
+  }
+
+  // Runs events until the queue is empty or the clock would pass `deadline`.
+  // The clock is left at `deadline` (so repeated run_until calls compose).
+  void run_until(SimTime deadline) {
+    while (!queue_.empty() && queue_.next_time() <= deadline) {
+      now_ = queue_.next_time();
+      (void)queue_.run_next();
+    }
+    if (now_ < deadline) now_ = deadline;
+  }
+
+  void run_for(SimDuration duration) { run_until(now_ + duration); }
+
+  // Drains the queue completely (with a safety cap against runaway loops).
+  void run_all(std::uint64_t max_events = 50'000'000) {
+    while (max_events-- > 0 && step()) {
+    }
+  }
+
+  [[nodiscard]] bool idle() const { return queue_.empty(); }
+  [[nodiscard]] std::size_t pending_events() const { return queue_.size(); }
+
+  [[nodiscard]] Rng& rng() { return rng_; }
+  [[nodiscard]] Rng fork_rng() { return rng_.fork(); }
+
+ private:
+  SimTime now_{};
+  EventQueue queue_;
+  Rng rng_;
+};
+
+// Repeating task helper (inquiry loops, link monitors, relay polls). The task
+// stops rearming once cancelled or destroyed; destruction is safe mid-cycle.
+class PeriodicTask {
+ public:
+  PeriodicTask() = default;
+  PeriodicTask(const PeriodicTask&) = delete;
+  PeriodicTask& operator=(const PeriodicTask&) = delete;
+  ~PeriodicTask() { stop(); }
+
+  void start(Simulator& sim, SimDuration period, std::function<void()> tick,
+             SimDuration initial_delay = SimDuration{0}) {
+    stop();
+    sim_ = &sim;
+    period_ = period;
+    tick_ = std::move(tick);
+    stopped_ = false;
+    arm(initial_delay);
+  }
+
+  void stop() {
+    stopped_ = true;
+    if (sim_ != nullptr && event_ != kInvalidEvent) {
+      sim_->cancel(event_);
+    }
+    event_ = kInvalidEvent;
+  }
+
+  [[nodiscard]] bool running() const { return !stopped_ && sim_ != nullptr; }
+
+ private:
+  void arm(SimDuration delay) {
+    event_ = sim_->schedule_after(delay, [this] {
+      event_ = kInvalidEvent;
+      tick_();
+      // tick_ may have called stop(); only rearm if still running.
+      if (!stopped_) arm(period_);
+    });
+  }
+
+  Simulator* sim_{nullptr};
+  SimDuration period_{};
+  std::function<void()> tick_;
+  EventId event_{kInvalidEvent};
+  bool stopped_{true};
+};
+
+}  // namespace peerhood::sim

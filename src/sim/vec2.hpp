@@ -1,0 +1,30 @@
+// 2-D geometry for device positions (metres).
+#pragma once
+
+#include <cmath>
+
+namespace peerhood::sim {
+
+struct Vec2 {
+  double x{0.0};
+  double y{0.0};
+
+  friend constexpr Vec2 operator+(Vec2 a, Vec2 b) {
+    return {a.x + b.x, a.y + b.y};
+  }
+  friend constexpr Vec2 operator-(Vec2 a, Vec2 b) {
+    return {a.x - b.x, a.y - b.y};
+  }
+  friend constexpr Vec2 operator*(Vec2 a, double k) {
+    return {a.x * k, a.y * k};
+  }
+  friend constexpr bool operator==(Vec2 a, Vec2 b) {
+    return a.x == b.x && a.y == b.y;
+  }
+
+  [[nodiscard]] double norm() const { return std::hypot(x, y); }
+};
+
+[[nodiscard]] inline double distance(Vec2 a, Vec2 b) { return (a - b).norm(); }
+
+}  // namespace peerhood::sim

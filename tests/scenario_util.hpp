@@ -1,0 +1,44 @@
+// Shared scenario helpers for integration tests and benches.
+#pragma once
+
+#include "node/testbed.hpp"
+
+namespace peerhood::testing {
+
+// Bluetooth parameters with the stochastic failure modes disabled and fast
+// establishment — for tests whose subject is protocol logic, not the §4.3
+// fault statistics.
+inline sim::TechnologyParams reliable_bluetooth() {
+  sim::TechnologyParams bt = sim::bluetooth_params();
+  bt.connect_failure_prob = 0.0;
+  bt.connect_delay_min_s = 0.5;
+  bt.connect_delay_max_s = 1.0;
+  bt.fetch_failure_prob = 0.0;
+  return bt;
+}
+
+// Node options with per-loop full refresh so tests converge quickly.
+inline node::NodeOptions fast_node(MobilityClass mobility) {
+  node::NodeOptions options;
+  options.mobility = mobility;
+  options.daemon.service_check_interval = seconds(5.0);
+  return options;
+}
+
+// Drives `testbed` until `predicate()` holds or `deadline_s` sim-seconds
+// elapse; returns whether the predicate held.
+template <typename Predicate>
+bool run_until(node::Testbed& testbed, Predicate predicate,
+               double deadline_s) {
+  const SimTime deadline = testbed.sim().now() + seconds(deadline_s);
+  while (!predicate() && testbed.sim().now() < deadline) {
+    if (!testbed.sim().step()) {
+      // Idle queue: advance in small hops so periodic tasks rearm.
+      testbed.sim().run_until(
+          std::min(deadline, testbed.sim().now() + seconds(0.1)));
+    }
+  }
+  return predicate();
+}
+
+}  // namespace peerhood::testing

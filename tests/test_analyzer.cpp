@@ -1,0 +1,213 @@
+// AnalyzeNeighbourhoodDevices tests (Fig. 3.13), including the paper's
+// Fig. 3.6 walk-through: A learns about D and E from B's and C's snapshots.
+#include "discovery/analyzer.hpp"
+
+#include <gtest/gtest.h>
+
+namespace peerhood {
+namespace {
+
+SimTime at(double s) { return SimTime{} + seconds(s); }
+
+MacAddress mac(std::uint64_t i) { return MacAddress::from_index(i); }
+
+DeviceRecord direct_record(std::uint64_t index, int quality,
+                           MobilityClass mobility = MobilityClass::kStatic) {
+  DeviceRecord record;
+  record.device.mac = mac(index);
+  record.device.name = "n" + std::to_string(index);
+  record.device.mobility = mobility;
+  record.jump = 0;
+  record.quality_sum = quality;
+  record.min_link_quality = quality;
+  record.via_tech = Technology::kBluetooth;
+  return record;
+}
+
+NeighbourSnapshotEntry entry(std::uint64_t index, int jump, int quality_sum,
+                             int min_quality, std::uint64_t bridge = 0) {
+  NeighbourSnapshotEntry e;
+  e.device.mac = mac(index);
+  e.device.name = "n" + std::to_string(index);
+  e.device.mobility = MobilityClass::kStatic;
+  e.jump = jump;
+  e.quality_sum = quality_sum;
+  e.min_link_quality = min_quality;
+  if (bridge != 0) e.bridge = mac(bridge);
+  return e;
+}
+
+TEST(Analyzer, DirectRecordStored) {
+  DeviceStorage storage;
+  NeighbourhoodAnalyzer analyzer{mac(100)};
+  const int changed = analyzer.integrate(storage, direct_record(1, 250), {},
+                                         Technology::kBluetooth, at(1.0));
+  EXPECT_EQ(changed, 1);
+  EXPECT_TRUE(storage.find(mac(1))->is_direct());
+}
+
+TEST(Analyzer, NeighbourBecomesOneJumpRoute) {
+  DeviceStorage storage;
+  NeighbourhoodAnalyzer analyzer{mac(100)};
+  // B (quality 240) knows D directly with quality 235.
+  analyzer.integrate(storage, direct_record(2, 240),
+                     {entry(4, 0, 235, 235)}, Technology::kBluetooth, at(1.0));
+  const auto d = storage.find(mac(4));
+  ASSERT_TRUE(d.has_value());
+  EXPECT_EQ(d->jump, 1);
+  EXPECT_EQ(d->bridge, mac(2));
+  EXPECT_EQ(d->quality_sum, 240 + 235);
+  EXPECT_EQ(d->min_link_quality, 235);
+}
+
+TEST(Analyzer, JumpIncrementsThroughChain) {
+  DeviceStorage storage;
+  NeighbourhoodAnalyzer analyzer{mac(100)};
+  // B advertises E at jump 1 (E is behind D from B's perspective).
+  analyzer.integrate(storage, direct_record(2, 240),
+                     {entry(5, 1, 470, 230, 4)}, Technology::kBluetooth,
+                     at(1.0));
+  const auto e = storage.find(mac(5));
+  ASSERT_TRUE(e.has_value());
+  EXPECT_EQ(e->jump, 2);
+  EXPECT_EQ(e->bridge, mac(2)) << "bridge is the responder, not B's bridge";
+  EXPECT_EQ(e->quality_sum, 240 + 470);
+  EXPECT_EQ(e->min_link_quality, 230);
+}
+
+TEST(Analyzer, OwnDeviceFiltered) {
+  DeviceStorage storage;
+  NeighbourhoodAnalyzer analyzer{mac(100)};
+  analyzer.integrate(storage, direct_record(2, 240),
+                     {entry(100, 0, 240, 240)}, Technology::kBluetooth,
+                     at(1.0));
+  EXPECT_FALSE(storage.contains(mac(100)))
+      << "own device comparison filter (Fig. 3.13)";
+}
+
+TEST(Analyzer, RoutesThroughSelfFiltered) {
+  DeviceStorage storage;
+  NeighbourhoodAnalyzer analyzer{mac(100)};
+  // B's route to device 7 goes through us — accepting it would loop.
+  analyzer.integrate(storage, direct_record(2, 240),
+                     {entry(7, 1, 470, 230, 100)}, Technology::kBluetooth,
+                     at(1.0));
+  EXPECT_FALSE(storage.contains(mac(7)));
+}
+
+TEST(Analyzer, ResponderEntryIgnored) {
+  DeviceStorage storage;
+  NeighbourhoodAnalyzer analyzer{mac(100)};
+  analyzer.integrate(storage, direct_record(2, 240),
+                     {entry(2, 0, 999, 999)}, Technology::kBluetooth, at(1.0));
+  const auto b = storage.find(mac(2));
+  ASSERT_TRUE(b.has_value());
+  EXPECT_TRUE(b->is_direct());
+  EXPECT_EQ(b->quality_sum, 240) << "snapshot must not overwrite the "
+                                    "measured direct record";
+}
+
+TEST(Analyzer, NeighbourLinksRecordedOnDirectRecord) {
+  DeviceStorage storage;
+  NeighbourhoodAnalyzer analyzer{mac(100)};
+  analyzer.integrate(
+      storage, direct_record(2, 240),
+      {entry(4, 0, 235, 235), entry(5, 1, 470, 230, 4), entry(100, 0, 240, 240)},
+      Technology::kBluetooth, at(1.0));
+  const auto b = storage.find(mac(2));
+  ASSERT_TRUE(b.has_value());
+  // Only B's *direct* neighbours (jump 0), excluding ourselves.
+  ASSERT_EQ(b->neighbour_links.size(), 1u);
+  EXPECT_EQ(b->neighbour_links[0].mac, mac(4));
+  EXPECT_EQ(b->neighbour_links[0].quality, 235);
+}
+
+TEST(Analyzer, Figure36Scenario) {
+  // A - B - D - E chain plus A - C. After integrating B's and C's
+  // snapshots, A knows B, C (direct), D (1 jump via B) and E (2 jumps).
+  DeviceStorage storage;
+  NeighbourhoodAnalyzer analyzer{mac(10)};  // A
+  // B's snapshot: knows A (filtered), D direct, E via D.
+  analyzer.integrate(
+      storage, direct_record(20, 245),
+      {entry(10, 0, 245, 245), entry(40, 0, 240, 240), entry(50, 1, 475, 235, 40)},
+      Technology::kBluetooth, at(1.0));
+  // C's snapshot: knows only A.
+  analyzer.integrate(storage, direct_record(30, 250),
+                     {entry(10, 0, 250, 250)}, Technology::kBluetooth,
+                     at(1.0));
+
+  EXPECT_EQ(storage.size(), 4u);  // B, C, D, E
+  EXPECT_EQ(storage.find(mac(40))->jump, 1);
+  EXPECT_EQ(storage.find(mac(40))->bridge, mac(20));
+  EXPECT_EQ(storage.find(mac(50))->jump, 2);
+  EXPECT_EQ(storage.find(mac(50))->bridge, mac(20));
+}
+
+TEST(Analyzer, BetterRouteReplacesWorse) {
+  DeviceStorage storage;
+  NeighbourhoodAnalyzer analyzer{mac(100)};
+  // First: D via B at 2 jumps.
+  analyzer.integrate(storage, direct_record(2, 240),
+                     {entry(4, 1, 460, 230, 3)}, Technology::kBluetooth,
+                     at(1.0));
+  EXPECT_EQ(storage.find(mac(4))->jump, 2);
+  // Then: C sees D directly — 1 jump wins.
+  analyzer.integrate(storage, direct_record(3, 238),
+                     {entry(4, 0, 233, 233)}, Technology::kBluetooth, at(2.0));
+  const auto d = storage.find(mac(4));
+  EXPECT_EQ(d->jump, 1);
+  EXPECT_EQ(d->bridge, mac(3));
+}
+
+TEST(Analyzer, BridgeMobilityTaken) {
+  DeviceStorage storage;
+  NeighbourhoodAnalyzer analyzer{mac(100)};
+  analyzer.integrate(storage,
+                     direct_record(2, 240, MobilityClass::kDynamic),
+                     {entry(4, 0, 235, 235)}, Technology::kBluetooth, at(1.0));
+  // §3.4.3: "only the nearest device's mobility numbers are considered".
+  EXPECT_EQ(storage.find(mac(4))->route_mobility,
+            mobility_cost(MobilityClass::kDynamic));
+}
+
+TEST(Analyzer, ReconcileRemovesRoutesBridgeForgot) {
+  DeviceStorage storage;
+  NeighbourhoodAnalyzer analyzer{mac(100)};
+  analyzer.integrate(storage, direct_record(2, 240),
+                     {entry(4, 0, 235, 235), entry(5, 0, 236, 236)},
+                     Technology::kBluetooth, at(1.0));
+  EXPECT_TRUE(storage.contains(mac(5)));
+  // Next cycle B no longer knows device 5.
+  analyzer.integrate(storage, direct_record(2, 240),
+                     {entry(4, 0, 235, 235)}, Technology::kBluetooth, at(2.0));
+  EXPECT_TRUE(storage.contains(mac(4)));
+  EXPECT_FALSE(storage.contains(mac(5)));
+}
+
+TEST(Analyzer, LegacyModeStoresNoRoutes) {
+  DeviceStorage storage;
+  NeighbourhoodAnalyzer analyzer{mac(100), AnalyzerConfig{false}};
+  analyzer.integrate(storage, direct_record(2, 240),
+                     {entry(4, 0, 235, 235), entry(5, 1, 470, 230, 4)},
+                     Technology::kBluetooth, at(1.0));
+  EXPECT_EQ(storage.size(), 1u) << "legacy [2] keeps only direct records";
+  // ...but the two-jump *vision* (neighbour links) is still there.
+  EXPECT_EQ(storage.find(mac(2))->neighbour_links.size(), 1u);
+}
+
+TEST(Analyzer, ServicesAndPrototypesPropagate) {
+  DeviceStorage storage;
+  NeighbourhoodAnalyzer analyzer{mac(100)};
+  NeighbourSnapshotEntry e = entry(4, 0, 235, 235);
+  e.services = {{"picture.analyse", "compute", 3}};
+  e.prototypes = {Technology::kBluetooth, Technology::kWlan};
+  analyzer.integrate(storage, direct_record(2, 240), {e},
+                     Technology::kBluetooth, at(1.0));
+  const auto d = storage.find(mac(4));
+  EXPECT_TRUE(d->provides("picture.analyse"));
+  EXPECT_EQ(d->prototypes.size(), 2u);
+}
+
+}  // namespace
+}  // namespace peerhood

@@ -1,0 +1,116 @@
+#include "common/bytes.hpp"
+
+#include <gtest/gtest.h>
+
+#include <limits>
+
+namespace peerhood {
+namespace {
+
+TEST(Bytes, RoundTripIntegers) {
+  ByteWriter writer;
+  writer.u8(0xAB);
+  writer.u16(0xBEEF);
+  writer.u32(0xDEADBEEFu);
+  writer.u64(0x0123456789ABCDEFULL);
+  const Bytes data = writer.bytes();
+  ASSERT_EQ(data.size(), 1u + 2u + 4u + 8u);
+
+  ByteReader reader{data};
+  EXPECT_EQ(reader.u8(), 0xAB);
+  EXPECT_EQ(reader.u16(), 0xBEEF);
+  EXPECT_EQ(reader.u32(), 0xDEADBEEFu);
+  EXPECT_EQ(reader.u64(), 0x0123456789ABCDEFULL);
+  EXPECT_TRUE(reader.ok());
+  EXPECT_TRUE(reader.at_end());
+}
+
+TEST(Bytes, BigEndianOnTheWire) {
+  ByteWriter writer;
+  writer.u16(0x0102);
+  const Bytes data = writer.bytes();
+  EXPECT_EQ(data[0], 0x01);
+  EXPECT_EQ(data[1], 0x02);
+}
+
+TEST(Bytes, RoundTripString) {
+  ByteWriter writer;
+  writer.string("peerhood");
+  writer.string("");
+  ByteReader reader{writer.bytes()};
+  EXPECT_EQ(reader.string(), "peerhood");
+  EXPECT_EQ(reader.string(), "");
+  EXPECT_TRUE(reader.ok());
+}
+
+TEST(Bytes, RoundTripBlob) {
+  Bytes blob{1, 2, 3, 4, 5};
+  ByteWriter writer;
+  writer.blob(blob);
+  ByteReader reader{writer.bytes()};
+  EXPECT_EQ(reader.blob(), blob);
+  EXPECT_TRUE(reader.ok());
+}
+
+TEST(Bytes, ReadPastEndFailsGracefully) {
+  ByteWriter writer;
+  writer.u16(7);
+  ByteReader reader{writer.bytes()};
+  (void)reader.u32();  // wants 4, only 2 available
+  EXPECT_FALSE(reader.ok());
+  // Subsequent reads stay failed and return zero values.
+  EXPECT_EQ(reader.u8(), 0);
+  EXPECT_EQ(reader.string(), "");
+  EXPECT_FALSE(reader.ok());
+}
+
+TEST(Bytes, TruncatedStringFails) {
+  ByteWriter writer;
+  writer.u16(100);  // claims 100 bytes follow
+  ByteReader reader{writer.bytes()};
+  EXPECT_EQ(reader.string(), "");
+  EXPECT_FALSE(reader.ok());
+}
+
+TEST(Bytes, EmptyReaderAtEnd) {
+  ByteReader reader{Bytes{}};
+  EXPECT_TRUE(reader.at_end());
+  EXPECT_EQ(reader.remaining(), 0u);
+  (void)reader.u8();
+  EXPECT_FALSE(reader.ok());
+}
+
+TEST(Bytes, StringLengthCappedAtU16Max) {
+  const std::string huge(70'000, 'x');
+  ByteWriter writer;
+  writer.string(huge);
+  ByteReader reader{writer.bytes()};
+  const std::string back = reader.string();
+  EXPECT_EQ(back.size(), std::numeric_limits<std::uint16_t>::max());
+  EXPECT_TRUE(reader.ok());
+}
+
+TEST(Bytes, RawAppendsWithoutPrefix) {
+  Bytes payload{9, 8, 7};
+  ByteWriter writer;
+  writer.raw(payload);
+  EXPECT_EQ(writer.bytes(), payload);
+}
+
+TEST(Bytes, MixedSequenceRoundTrip) {
+  ByteWriter writer;
+  writer.string("svc");
+  writer.u8(3);
+  writer.blob(Bytes{42});
+  writer.u64(99);
+  ByteReader reader{writer.bytes()};
+  EXPECT_EQ(reader.string(), "svc");
+  EXPECT_EQ(reader.u8(), 3);
+  EXPECT_EQ(reader.blob(), Bytes{42});
+  EXPECT_EQ(reader.u64(), 99u);
+  EXPECT_TRUE(reader.ok());
+  EXPECT_TRUE(reader.at_end());
+}
+
+}  // namespace
+}  // namespace peerhood

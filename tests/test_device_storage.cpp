@@ -1,0 +1,197 @@
+#include "discovery/device_storage.hpp"
+
+#include <gtest/gtest.h>
+
+namespace peerhood {
+namespace {
+
+SimTime at(double s) { return SimTime{} + seconds(s); }
+
+DeviceRecord direct(std::uint64_t index, int quality,
+                    MobilityClass mobility = MobilityClass::kStatic,
+                    Technology tech = Technology::kBluetooth) {
+  DeviceRecord record;
+  record.device.mac = MacAddress::from_index(index);
+  record.device.name = "n" + std::to_string(index);
+  record.device.mobility = mobility;
+  record.jump = 0;
+  record.quality_sum = quality;
+  record.min_link_quality = quality;
+  record.via_tech = tech;
+  return record;
+}
+
+DeviceRecord routed(std::uint64_t index, int jump, std::uint64_t bridge,
+                    int quality_sum, int min_quality, int mobility = 0) {
+  DeviceRecord record;
+  record.device.mac = MacAddress::from_index(index);
+  record.jump = jump;
+  record.bridge = MacAddress::from_index(bridge);
+  record.quality_sum = quality_sum;
+  record.min_link_quality = min_quality;
+  record.route_mobility = mobility;
+  return record;
+}
+
+TEST(DeviceStorage, InsertAndFind) {
+  DeviceStorage storage;
+  EXPECT_TRUE(storage.upsert(direct(1, 250)));
+  EXPECT_EQ(storage.size(), 1u);
+  const auto found = storage.find(MacAddress::from_index(1));
+  ASSERT_TRUE(found.has_value());
+  EXPECT_EQ(found->quality_sum, 250);
+  EXPECT_TRUE(found->is_direct());
+  EXPECT_FALSE(storage.find(MacAddress::from_index(2)).has_value());
+}
+
+TEST(DeviceStorage, SameRouteAlwaysRefreshes) {
+  DeviceStorage storage;
+  DeviceRecord first = direct(1, 250);
+  first.last_seen = at(10.0);
+  storage.upsert(first);
+  // Same route, *lower* quality: must still refresh (liveness update).
+  DeviceRecord second = direct(1, 200);
+  second.last_seen = at(20.0);
+  EXPECT_TRUE(storage.upsert(second));
+  const auto found = storage.find(MacAddress::from_index(1));
+  EXPECT_EQ(found->quality_sum, 200);
+  EXPECT_EQ(found->last_seen, at(20.0));
+}
+
+TEST(DeviceStorage, DirectBeatsRouted) {
+  DeviceStorage storage;
+  storage.upsert(routed(1, 2, 9, 700, 240));
+  EXPECT_TRUE(storage.upsert(direct(1, 231)));
+  EXPECT_TRUE(storage.find(MacAddress::from_index(1))->is_direct());
+}
+
+TEST(DeviceStorage, WorseRouteRejectedButRefreshesLiveness) {
+  DeviceStorage storage;
+  DeviceRecord good = routed(1, 1, 9, 480, 240);
+  good.last_seen = at(5.0);
+  storage.upsert(good);
+  DeviceRecord worse = routed(1, 3, 8, 900, 235);
+  worse.last_seen = at(50.0);
+  EXPECT_FALSE(storage.upsert(worse));
+  const auto found = storage.find(MacAddress::from_index(1));
+  EXPECT_EQ(found->jump, 1);
+  EXPECT_EQ(found->last_seen, at(50.0)) << "liveness must still refresh";
+}
+
+TEST(DeviceStorage, MaxJumpCeilingEnforced) {
+  RoutePolicy policy;
+  policy.max_jumps = 3;
+  DeviceStorage storage{policy};
+  EXPECT_FALSE(storage.upsert(routed(1, 4, 9, 999, 240)));
+  EXPECT_TRUE(storage.upsert(routed(1, 3, 9, 900, 240)));
+}
+
+TEST(DeviceStorage, SnapshotAndDirectNeighbours) {
+  DeviceStorage storage;
+  storage.upsert(direct(1, 250));
+  storage.upsert(direct(2, 240));
+  storage.upsert(routed(3, 1, 1, 480, 235));
+  EXPECT_EQ(storage.snapshot().size(), 3u);
+  EXPECT_EQ(storage.direct_neighbours().size(), 2u);
+}
+
+TEST(DeviceStorage, ProvidersOf) {
+  DeviceStorage storage;
+  DeviceRecord a = direct(1, 250);
+  a.services = {{"echo", "", 1}, {"compute", "", 2}};
+  DeviceRecord b = routed(2, 1, 1, 480, 235);
+  b.services = {{"compute", "", 2}};
+  storage.upsert(a);
+  storage.upsert(b);
+  EXPECT_EQ(storage.providers_of("compute").size(), 2u);
+  EXPECT_EQ(storage.providers_of("echo").size(), 1u);
+  EXPECT_TRUE(storage.providers_of("nope").empty());
+}
+
+TEST(DeviceStorage, AgeDirectDropsAfterMaxMissed) {
+  DeviceStorage storage;
+  storage.upsert(direct(1, 250));
+  storage.upsert(direct(2, 250));
+  // Device 2 responds, device 1 does not.
+  const std::vector<MacAddress> responders{MacAddress::from_index(2)};
+  EXPECT_TRUE(storage.age_direct(Technology::kBluetooth, responders, 2,
+                                 at(10.0)).empty());
+  EXPECT_TRUE(storage.age_direct(Technology::kBluetooth, responders, 2,
+                                 at(20.0)).empty());
+  const auto removed = storage.age_direct(Technology::kBluetooth, responders,
+                                          2, at(30.0));
+  ASSERT_EQ(removed.size(), 1u);
+  EXPECT_EQ(removed[0], MacAddress::from_index(1));
+  EXPECT_FALSE(storage.contains(MacAddress::from_index(1)));
+  EXPECT_TRUE(storage.contains(MacAddress::from_index(2)));
+}
+
+TEST(DeviceStorage, RespondingResetsAge) {
+  DeviceStorage storage;
+  storage.upsert(direct(1, 250));
+  const std::vector<MacAddress> nobody{};
+  const std::vector<MacAddress> one{MacAddress::from_index(1)};
+  (void)storage.age_direct(Technology::kBluetooth, nobody, 2, at(10.0));
+  (void)storage.age_direct(Technology::kBluetooth, nobody, 2, at(20.0));
+  (void)storage.age_direct(Technology::kBluetooth, one, 2, at(30.0));
+  // Counter reset; two more misses still below the limit.
+  (void)storage.age_direct(Technology::kBluetooth, nobody, 2, at(40.0));
+  (void)storage.age_direct(Technology::kBluetooth, nobody, 2, at(50.0));
+  EXPECT_TRUE(storage.contains(MacAddress::from_index(1)));
+}
+
+TEST(DeviceStorage, AgingCascadesToRoutes) {
+  DeviceStorage storage;
+  storage.upsert(direct(1, 250));
+  storage.upsert(routed(5, 1, 1, 480, 235));  // via device 1
+  const std::vector<MacAddress> nobody{};
+  (void)storage.age_direct(Technology::kBluetooth, nobody, 0, at(10.0));
+  EXPECT_FALSE(storage.contains(MacAddress::from_index(1)));
+  EXPECT_FALSE(storage.contains(MacAddress::from_index(5)))
+      << "routes through a vanished bridge must disappear";
+}
+
+TEST(DeviceStorage, AgeIsPerTechnology) {
+  DeviceStorage storage;
+  storage.upsert(direct(1, 250, MobilityClass::kStatic, Technology::kWlan));
+  const std::vector<MacAddress> nobody{};
+  (void)storage.age_direct(Technology::kBluetooth, nobody, 0, at(10.0));
+  EXPECT_TRUE(storage.contains(MacAddress::from_index(1)))
+      << "bluetooth aging must not touch wlan records";
+}
+
+TEST(DeviceStorage, ReconcileBridgeDropsStaleRoutes) {
+  DeviceStorage storage;
+  storage.upsert(direct(1, 250));
+  storage.upsert(routed(5, 1, 1, 480, 235));
+  storage.upsert(routed(6, 1, 1, 470, 235));
+  // Bridge 1 now only advertises device 5.
+  storage.reconcile_bridge(MacAddress::from_index(1),
+                           {MacAddress::from_index(5)});
+  EXPECT_TRUE(storage.contains(MacAddress::from_index(5)));
+  EXPECT_FALSE(storage.contains(MacAddress::from_index(6)));
+  EXPECT_TRUE(storage.contains(MacAddress::from_index(1)))
+      << "the direct record of the bridge itself is untouched";
+}
+
+TEST(DeviceStorage, RemoveRoutesVia) {
+  DeviceStorage storage;
+  storage.upsert(routed(5, 1, 1, 480, 235));
+  storage.upsert(routed(6, 2, 2, 700, 235));
+  storage.remove_routes_via(MacAddress::from_index(1));
+  EXPECT_FALSE(storage.contains(MacAddress::from_index(5)));
+  EXPECT_TRUE(storage.contains(MacAddress::from_index(6)));
+}
+
+TEST(DeviceRecord, ServiceLookup) {
+  DeviceRecord record = direct(1, 250);
+  record.services = {{"echo", "", 1}};
+  EXPECT_TRUE(record.provides("echo"));
+  EXPECT_FALSE(record.provides("other"));
+  const auto svc = record.find_service("echo");
+  ASSERT_TRUE(svc.has_value());
+  EXPECT_EQ(svc->port, 1);
+}
+
+}  // namespace
+}  // namespace peerhood

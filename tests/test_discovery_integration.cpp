@@ -1,0 +1,228 @@
+// End-to-end dynamic device discovery (Ch. 3): coverage exclusion solved,
+// jump counts correct, routes propagate one hop per searching cycle, aging
+// removes departed devices, legacy mode reproduces the pre-thesis limits.
+#include <gtest/gtest.h>
+
+#include "baseline/visibility.hpp"
+#include "scenario_util.hpp"
+
+namespace peerhood {
+namespace {
+
+using node::Testbed;
+using testing::fast_node;
+using testing::reliable_bluetooth;
+
+// A line of nodes 8 m apart: with 10 m Bluetooth range only adjacent nodes
+// are in mutual coverage — the Fig. 3.3 coverage-exclusion setup.
+void build_line(Testbed& testbed, int n,
+                MobilityClass mobility = MobilityClass::kStatic) {
+  for (int i = 0; i < n; ++i) {
+    testbed.add_node("n" + std::to_string(i), {8.0 * i, 0.0},
+                     fast_node(mobility));
+  }
+}
+
+TEST(DiscoveryIntegration, DirectNeighboursFoundFirstRound) {
+  Testbed testbed{1};
+  testbed.medium().configure(reliable_bluetooth());
+  build_line(testbed, 3);
+  testbed.run_discovery_rounds(2);
+  auto& mid = testbed.node("n1");
+  EXPECT_GE(mid.daemon().storage().direct_neighbours().size(), 2u);
+}
+
+TEST(DiscoveryIntegration, TotalEnvironmentAwarenessOnLine) {
+  Testbed testbed{2};
+  testbed.medium().configure(reliable_bluetooth());
+  constexpr int kNodes = 5;
+  build_line(testbed, kNodes);
+  testbed.run_discovery_rounds(kNodes + 3);
+  for (node::Node* node : testbed.nodes()) {
+    EXPECT_EQ(node->daemon().storage().size(),
+              static_cast<std::size_t>(kNodes - 1))
+        << node->name() << " must know every other device";
+  }
+}
+
+TEST(DiscoveryIntegration, JumpCountsMatchTopology) {
+  Testbed testbed{3};
+  testbed.medium().configure(reliable_bluetooth());
+  build_line(testbed, 5);
+  testbed.run_discovery_rounds(8);
+  auto& a = testbed.node("n0");
+  const auto expect_jump = [&](const std::string& name, int jump) {
+    const auto record =
+        a.daemon().storage().find(testbed.node(name).mac());
+    ASSERT_TRUE(record.has_value()) << name;
+    EXPECT_EQ(record->jump, jump) << name;
+  };
+  expect_jump("n1", 0);
+  expect_jump("n2", 1);
+  expect_jump("n3", 2);
+  expect_jump("n4", 3);
+}
+
+TEST(DiscoveryIntegration, BridgeFieldsPointAlongTheLine) {
+  Testbed testbed{4};
+  testbed.medium().configure(reliable_bluetooth());
+  build_line(testbed, 4);
+  testbed.run_discovery_rounds(7);
+  auto& a = testbed.node("n0");
+  const auto far = a.daemon().storage().find(testbed.node("n3").mac());
+  ASSERT_TRUE(far.has_value());
+  EXPECT_EQ(far->bridge, testbed.node("n1").mac())
+      << "first hop towards n3 is always n1";
+  EXPECT_FALSE(far->is_direct());
+}
+
+TEST(DiscoveryIntegration, LegacyModeSuffersCoverageExclusion) {
+  Testbed testbed{5};
+  testbed.medium().configure(reliable_bluetooth());
+  for (int i = 0; i < 5; ++i) {
+    node::NodeOptions options = fast_node(MobilityClass::kStatic);
+    options.daemon.propagate_routes = false;  // pre-thesis PeerHood [2]
+    testbed.add_node("n" + std::to_string(i), {8.0 * i, 0.0}, options);
+  }
+  testbed.run_discovery_rounds(8);
+  auto& a = testbed.node("n0");
+  // Routable: only the direct neighbour.
+  EXPECT_EQ(baseline::routable_device_count(a.daemon().storage()), 1u);
+  // Visible (two-jump vision): direct neighbour + its neighbours = 2.
+  EXPECT_EQ(baseline::visible_device_count(a.daemon().storage(), a.mac()), 2u);
+}
+
+TEST(DiscoveryIntegration, DynamicModeSeesEverything) {
+  Testbed testbed{5};
+  testbed.medium().configure(reliable_bluetooth());
+  build_line(testbed, 5);
+  testbed.run_discovery_rounds(8);
+  auto& a = testbed.node("n0");
+  EXPECT_EQ(baseline::routable_device_count(a.daemon().storage()), 4u);
+}
+
+TEST(DiscoveryIntegration, NonPeerHoodDevicesIgnored) {
+  Testbed testbed{6};
+  testbed.medium().configure(reliable_bluetooth());
+  testbed.add_node("ph", {0.0, 0.0}, fast_node(MobilityClass::kStatic));
+  node::NodeOptions alien = fast_node(MobilityClass::kStatic);
+  alien.peerhood_capable = false;
+  testbed.add_node("alien", {5.0, 0.0}, alien);
+  testbed.run_discovery_rounds(3);
+  EXPECT_FALSE(testbed.node("ph").daemon().storage().contains(
+      testbed.node("alien").mac()));
+  EXPECT_GT(testbed.node("ph")
+                .daemon()
+                .plugin(Technology::kBluetooth)
+                ->stats()
+                .non_peerhood,
+            0u);
+}
+
+TEST(DiscoveryIntegration, DepartedDeviceAgedOutAndRoutesCascade) {
+  Testbed testbed{7};
+  testbed.medium().configure(reliable_bluetooth());
+  testbed.add_node("a", {0.0, 0.0}, fast_node(MobilityClass::kStatic));
+  // b walks away after 150 s, taking c (behind it) out of a's world.
+  testbed.add_mobile_node(
+      "b",
+      std::make_shared<sim::WaypointPath>(std::vector<sim::WaypointPath::Waypoint>{
+          {SimTime{} + seconds(0.0), {8.0, 0.0}},
+          {SimTime{} + seconds(150.0), {8.0, 0.0}},
+          {SimTime{} + seconds(180.0), {200.0, 0.0}},
+      }),
+      fast_node(MobilityClass::kDynamic));
+  testbed.add_node("c", {16.0, 0.0}, fast_node(MobilityClass::kStatic));
+  auto& a = testbed.node("a");
+  const MacAddress b_mac = testbed.node("b").mac();
+  const MacAddress c_mac = testbed.node("c").mac();
+  ASSERT_TRUE(testing::run_until(
+      testbed,
+      [&] {
+        return a.daemon().storage().contains(b_mac) &&
+               a.daemon().storage().contains(c_mac);
+      },
+      140.0))
+      << "a must learn both b (direct) and c (via b) before the walk";
+  // After the walk plus a few aging loops both records must be gone.
+  testbed.sim().run_until(SimTime{} + seconds(330.0));
+  EXPECT_FALSE(a.daemon().storage().contains(b_mac));
+  EXPECT_FALSE(a.daemon().storage().contains(c_mac))
+      << "route via the departed bridge must cascade away";
+}
+
+TEST(DiscoveryIntegration, StaticBridgePreferredOverDynamic) {
+  // Diamond: a - {s(static), d(dynamic)} - t. Both middles reach t; the
+  // route chosen for t must go through the static one (§3.4.3).
+  Testbed testbed{8};
+  testbed.medium().configure(reliable_bluetooth());
+  testbed.add_node("a", {0.0, 0.0}, fast_node(MobilityClass::kStatic));
+  testbed.add_node("s", {6.0, 4.0}, fast_node(MobilityClass::kStatic));
+  testbed.add_node("d", {6.0, -4.0}, fast_node(MobilityClass::kDynamic));
+  testbed.add_node("t", {12.0, 0.0}, fast_node(MobilityClass::kStatic));
+  testbed.run_discovery_rounds(8);
+  const auto record =
+      testbed.node("a").daemon().storage().find(testbed.node("t").mac());
+  ASSERT_TRUE(record.has_value());
+  EXPECT_EQ(record->jump, 1);
+  EXPECT_EQ(record->bridge, testbed.node("s").mac())
+      << "static bridges form the backbone of the network";
+}
+
+TEST(DiscoveryIntegration, ServicesPropagateAcrossJumps) {
+  Testbed testbed{9};
+  testbed.medium().configure(reliable_bluetooth());
+  build_line(testbed, 4);
+  (void)testbed.node("n3").daemon().register_service(
+      ServiceInfo{"picture.analyse", "compute", 0});
+  testbed.run_discovery_rounds(7);
+  const auto record = testbed.node("n0").daemon().storage().find(
+      testbed.node("n3").mac());
+  ASSERT_TRUE(record.has_value());
+  EXPECT_TRUE(record->provides("picture.analyse"));
+  // And through the library API:
+  const auto services = testbed.node("n0").library().get_service_list();
+  const bool seen = std::any_of(
+      services.begin(), services.end(), [](const auto& pair) {
+        return pair.second.name == "picture.analyse";
+      });
+  EXPECT_TRUE(seen);
+}
+
+TEST(DiscoveryIntegration, HiddenServicesNotListed) {
+  Testbed testbed{10};
+  testbed.medium().configure(reliable_bluetooth());
+  build_line(testbed, 2);
+  testbed.run_discovery_rounds(3);
+  const auto services = testbed.node("n0").library().get_service_list();
+  for (const auto& [device, service] : services) {
+    EXPECT_NE(service.attribute, kHiddenAttribute)
+        << "the bridge service must stay hidden from applications";
+  }
+}
+
+TEST(DiscoveryIntegration, PropagationDelayGrowsWithHops) {
+  // Fig. 3.10: a change k hops away needs ~k searching cycles to surface.
+  Testbed testbed{11};
+  testbed.medium().configure(reliable_bluetooth());
+  build_line(testbed, 5);
+  testbed.run_discovery_rounds(8);
+  // New node appears next to n4 (5 hops from n0's end of the line).
+  testbed.add_node("fresh", {8.0 * 4, 8.0}, fast_node(MobilityClass::kStatic));
+  const double appeared = testbed.sim().now().seconds();
+
+  auto& n4 = testbed.node("n4");
+  auto& n0 = testbed.node("n0");
+  const MacAddress fresh = testbed.node("fresh").mac();
+  ASSERT_TRUE(testing::run_until(
+      testbed, [&] { return n4.daemon().storage().contains(fresh); }, 120.0));
+  const double near_time = testbed.sim().now().seconds() - appeared;
+  ASSERT_TRUE(testing::run_until(
+      testbed, [&] { return n0.daemon().storage().contains(fresh); }, 400.0));
+  const double far_time = testbed.sim().now().seconds() - appeared;
+  EXPECT_GT(far_time, near_time)
+      << "distant nodes must learn strictly later (delay = jumps x cycle)";
+}
+
+}  // namespace
+}  // namespace peerhood

@@ -1,0 +1,104 @@
+#include "sim/event_queue.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace peerhood::sim {
+namespace {
+
+SimTime at(double s) { return SimTime{} + seconds(s); }
+
+TEST(EventQueue, RunsInTimeOrder) {
+  EventQueue q;
+  std::vector<int> order;
+  q.schedule(at(3.0), [&] { order.push_back(3); });
+  q.schedule(at(1.0), [&] { order.push_back(1); });
+  q.schedule(at(2.0), [&] { order.push_back(2); });
+  while (!q.empty()) q.run_next();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(EventQueue, StableForEqualTimes) {
+  EventQueue q;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) {
+    q.schedule(at(1.0), [&order, i] { order.push_back(i); });
+  }
+  while (!q.empty()) q.run_next();
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(order[static_cast<size_t>(i)], i);
+}
+
+TEST(EventQueue, CancelPreventsExecution) {
+  EventQueue q;
+  bool ran = false;
+  const EventId id = q.schedule(at(1.0), [&] { ran = true; });
+  q.cancel(id);
+  EXPECT_TRUE(q.empty());
+  EXPECT_FALSE(ran);
+}
+
+TEST(EventQueue, CancelOneOfMany) {
+  EventQueue q;
+  std::vector<int> order;
+  q.schedule(at(1.0), [&] { order.push_back(1); });
+  const EventId id = q.schedule(at(2.0), [&] { order.push_back(2); });
+  q.schedule(at(3.0), [&] { order.push_back(3); });
+  q.cancel(id);
+  while (!q.empty()) q.run_next();
+  EXPECT_EQ(order, (std::vector<int>{1, 3}));
+}
+
+TEST(EventQueue, CancelFiredIdIsNoop) {
+  EventQueue q;
+  const EventId id = q.schedule(at(1.0), [] {});
+  q.run_next();
+  q.cancel(id);  // must not crash or underflow the live count
+  EXPECT_TRUE(q.empty());
+}
+
+TEST(EventQueue, CancelInvalidIdIsNoop) {
+  EventQueue q;
+  q.cancel(9999);
+  q.cancel(kInvalidEvent);
+  EXPECT_TRUE(q.empty());
+}
+
+TEST(EventQueue, NextTimeSkipsCancelled) {
+  EventQueue q;
+  const EventId early = q.schedule(at(1.0), [] {});
+  q.schedule(at(5.0), [] {});
+  q.cancel(early);
+  EXPECT_EQ(q.next_time(), at(5.0));
+}
+
+TEST(EventQueue, RunNextReturnsScheduledTime) {
+  EventQueue q;
+  q.schedule(at(2.5), [] {});
+  EXPECT_EQ(q.run_next(), at(2.5));
+}
+
+TEST(EventQueue, EventMaySchedule) {
+  EventQueue q;
+  int fired = 0;
+  q.schedule(at(1.0), [&] {
+    ++fired;
+    q.schedule(at(2.0), [&] { ++fired; });
+  });
+  while (!q.empty()) q.run_next();
+  EXPECT_EQ(fired, 2);
+}
+
+TEST(EventQueue, SizeTracksLiveEvents) {
+  EventQueue q;
+  const EventId a = q.schedule(at(1.0), [] {});
+  q.schedule(at(2.0), [] {});
+  EXPECT_EQ(q.size(), 2u);
+  q.cancel(a);
+  EXPECT_EQ(q.size(), 1u);
+  q.run_next();
+  EXPECT_EQ(q.size(), 0u);
+}
+
+}  // namespace
+}  // namespace peerhood::sim

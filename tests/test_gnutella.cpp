@@ -1,0 +1,111 @@
+#include "baseline/gnutella.hpp"
+
+#include <gtest/gtest.h>
+
+#include "sim/simulator.hpp"
+
+namespace peerhood::baseline {
+namespace {
+
+MacAddress mac(std::uint64_t i) { return MacAddress::from_index(i); }
+
+GnutellaOverlay::Adjacency line(int n) {
+  GnutellaOverlay::Adjacency adj;
+  for (int i = 0; i < n; ++i) {
+    auto& neighbours = adj[mac(static_cast<std::uint64_t>(i))];
+    if (i > 0) neighbours.push_back(mac(static_cast<std::uint64_t>(i - 1)));
+    if (i + 1 < n) neighbours.push_back(mac(static_cast<std::uint64_t>(i + 1)));
+  }
+  return adj;
+}
+
+GnutellaOverlay::Adjacency complete(int n) {
+  GnutellaOverlay::Adjacency adj;
+  for (int i = 0; i < n; ++i) {
+    for (int j = 0; j < n; ++j) {
+      if (i != j) {
+        adj[mac(static_cast<std::uint64_t>(i))].push_back(
+            mac(static_cast<std::uint64_t>(j)));
+      }
+    }
+  }
+  return adj;
+}
+
+TEST(Gnutella, LineSearchFindsTarget) {
+  GnutellaOverlay overlay{line(6)};
+  const auto result = overlay.search(mac(0), mac(5), 7);
+  EXPECT_TRUE(result.found);
+  EXPECT_EQ(result.hops_to_target, 5);
+  // On a line each hop is one message: 5 messages to reach node 5.
+  EXPECT_EQ(result.query_messages, 5u);
+}
+
+TEST(Gnutella, TtlLimitsReach) {
+  GnutellaOverlay overlay{line(10)};
+  const auto result = overlay.search(mac(0), mac(9), 4);
+  EXPECT_FALSE(result.found);
+  EXPECT_EQ(result.nodes_reached, 5u);  // origin + 4 hops
+}
+
+TEST(Gnutella, CompleteGraphExplodes) {
+  // Flooding a complete graph duplicates queries massively — the §3.2
+  // scaling problem.
+  GnutellaOverlay overlay{complete(8)};
+  const auto result = overlay.search(mac(0), mac(7), 3);
+  EXPECT_TRUE(result.found);
+  EXPECT_EQ(result.hops_to_target, 1);
+  // First wave: 7 messages; second wave: 7 nodes x 6 forwards = 42; ...
+  EXPECT_GE(result.query_messages, 7u + 42u);
+}
+
+TEST(Gnutella, MessagesGrowFasterThanNodesOnDenseGraphs) {
+  const auto msgs_for = [](int n) {
+    GnutellaOverlay overlay{complete(n)};
+    return overlay.search(mac(0), mac(1), 2).query_messages;
+  };
+  const auto m8 = msgs_for(8);
+  const auto m16 = msgs_for(16);
+  EXPECT_GT(m16, 3 * m8) << "super-linear traffic growth";
+}
+
+TEST(Gnutella, FloodMessagesMatchesSearchPattern) {
+  GnutellaOverlay overlay{line(5)};
+  EXPECT_EQ(overlay.flood_messages(mac(0), 7), 4u);
+}
+
+TEST(Gnutella, UnknownOriginIsEmptyResult) {
+  GnutellaOverlay overlay{line(3)};
+  const auto result = overlay.search(mac(99), mac(1), 7);
+  EXPECT_FALSE(result.found);
+  EXPECT_EQ(result.query_messages, 0u);
+}
+
+TEST(Gnutella, FromMediumUsesRadioRange) {
+  sim::Simulator sim{5};
+  sim::RadioMedium medium{sim};
+  std::vector<MacAddress> nodes;
+  for (int i = 0; i < 4; ++i) {
+    const MacAddress m = mac(static_cast<std::uint64_t>(i));
+    medium.register_endpoint(
+        m, Technology::kBluetooth,
+        std::make_shared<sim::StaticPosition>(sim::Vec2{8.0 * i, 0.0}),
+        nullptr);
+    nodes.push_back(m);
+  }
+  const auto overlay =
+      GnutellaOverlay::from_medium(medium, nodes, Technology::kBluetooth);
+  EXPECT_EQ(overlay.node_count(), 4u);
+  EXPECT_EQ(overlay.edge_count(), 3u);  // chain edges only
+  const auto result = overlay.search(mac(0), mac(3), 7);
+  EXPECT_TRUE(result.found);
+  EXPECT_EQ(result.hops_to_target, 3);
+}
+
+TEST(Gnutella, EdgeCountHalvesDegreeSum) {
+  GnutellaOverlay overlay{complete(6)};
+  EXPECT_EQ(overlay.edge_count(), 15u);
+}
+
+}  // namespace
+}  // namespace peerhood::baseline

@@ -1,0 +1,72 @@
+#include "common/mac_address.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace peerhood {
+namespace {
+
+TEST(MacAddress, DefaultIsNull) {
+  MacAddress mac;
+  EXPECT_TRUE(mac.is_null());
+  EXPECT_EQ(mac.as_u64(), 0u);
+}
+
+TEST(MacAddress, FromIndexIsUniqueAndLocal) {
+  std::set<std::uint64_t> seen;
+  for (std::uint64_t i = 0; i < 1000; ++i) {
+    const MacAddress mac = MacAddress::from_index(i);
+    EXPECT_EQ(mac.octets()[0], 0x02) << "locally administered prefix";
+    EXPECT_TRUE(seen.insert(mac.as_u64()).second) << "collision at " << i;
+  }
+}
+
+TEST(MacAddress, U64RoundTrip) {
+  const MacAddress mac = MacAddress::from_index(123456);
+  EXPECT_EQ(MacAddress::from_u64(mac.as_u64()), mac);
+}
+
+TEST(MacAddress, ToStringFormat) {
+  const MacAddress mac{
+      std::array<std::uint8_t, 6>{0x02, 0x00, 0x00, 0x01, 0xE2, 0x40}};
+  EXPECT_EQ(mac.to_string(), "02:00:00:01:e2:40");
+}
+
+TEST(MacAddress, ParseRoundTrip) {
+  const MacAddress mac = MacAddress::from_index(987654);
+  const auto parsed = MacAddress::parse(mac.to_string());
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(*parsed, mac);
+}
+
+TEST(MacAddress, ParseRejectsMalformed) {
+  EXPECT_FALSE(MacAddress::parse("").has_value());
+  EXPECT_FALSE(MacAddress::parse("02:00:00:01:e2").has_value());
+  EXPECT_FALSE(MacAddress::parse("02:00:00:01:e2:4").has_value());
+  EXPECT_FALSE(MacAddress::parse("02-00-00-01-e2-40").has_value());
+  EXPECT_FALSE(MacAddress::parse("0g:00:00:01:e2:40").has_value());
+  EXPECT_FALSE(MacAddress::parse("02:00:00:01:e2:40x").has_value());
+}
+
+TEST(MacAddress, ParseAcceptsUppercase) {
+  const auto parsed = MacAddress::parse("02:AB:CD:EF:00:11");
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->octets()[1], 0xAB);
+}
+
+TEST(MacAddress, Ordering) {
+  const MacAddress a = MacAddress::from_index(1);
+  const MacAddress b = MacAddress::from_index(2);
+  EXPECT_LT(a, b);
+  EXPECT_NE(a, b);
+}
+
+TEST(MacAddress, HashUsableInUnorderedContainers) {
+  const MacAddress a = MacAddress::from_index(7);
+  const MacAddress b = MacAddress::from_index(7);
+  EXPECT_EQ(std::hash<MacAddress>{}(a), std::hash<MacAddress>{}(b));
+}
+
+}  // namespace
+}  // namespace peerhood

@@ -1,0 +1,206 @@
+#include "sim/medium.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+namespace peerhood::sim {
+namespace {
+
+class MediumTest : public ::testing::Test {
+ protected:
+  MediumTest() : sim_{77}, medium_{sim_} {}
+
+  MacAddress add(std::uint64_t index, Vec2 position,
+                 Technology tech = Technology::kBluetooth) {
+    const MacAddress mac = MacAddress::from_index(index);
+    medium_.register_endpoint(
+        mac, tech, std::make_shared<StaticPosition>(position),
+        [this, mac](MacAddress from, const Bytes& frame) {
+          received_.push_back({mac, from, frame});
+        });
+    return mac;
+  }
+
+  struct Received {
+    MacAddress to;
+    MacAddress from;
+    Bytes frame;
+  };
+
+  Simulator sim_;
+  RadioMedium medium_;
+  std::vector<Received> received_;
+};
+
+TEST_F(MediumTest, InRangeByDistance) {
+  const MacAddress a = add(1, {0.0, 0.0});
+  const MacAddress b = add(2, {5.0, 0.0});
+  const MacAddress c = add(3, {15.0, 0.0});
+  EXPECT_TRUE(medium_.in_range(a, b, Technology::kBluetooth));
+  EXPECT_FALSE(medium_.in_range(a, c, Technology::kBluetooth));
+  EXPECT_TRUE(medium_.in_range(b, c, Technology::kBluetooth));
+}
+
+TEST_F(MediumTest, InRangeOfExcludesSelf) {
+  const MacAddress a = add(1, {0.0, 0.0});
+  add(2, {3.0, 0.0});
+  add(3, {6.0, 0.0});
+  add(4, {30.0, 0.0});
+  const auto neighbours = medium_.in_range_of(a, Technology::kBluetooth);
+  EXPECT_EQ(neighbours.size(), 2u);
+  EXPECT_EQ(std::count(neighbours.begin(), neighbours.end(), a), 0);
+}
+
+TEST_F(MediumTest, TechnologiesAreIsolated) {
+  const MacAddress a = add(1, {0.0, 0.0}, Technology::kBluetooth);
+  const MacAddress b = add(2, {5.0, 0.0}, Technology::kWlan);
+  EXPECT_FALSE(medium_.in_range(a, b, Technology::kBluetooth));
+  EXPECT_TRUE(medium_.in_range_of(a, Technology::kWlan).empty());
+}
+
+TEST_F(MediumTest, DiscoverableInRangeHonoursFlags) {
+  const MacAddress a = add(1, {0.0, 0.0});
+  const MacAddress b = add(2, {3.0, 0.0});
+  const MacAddress c = add(3, {6.0, 0.0});
+
+  auto discoverable = medium_.discoverable_in_range(a, Technology::kBluetooth);
+  EXPECT_EQ(discoverable.size(), 2u);
+
+  medium_.set_discoverable(b, Technology::kBluetooth, false);
+  discoverable = medium_.discoverable_in_range(a, Technology::kBluetooth);
+  ASSERT_EQ(discoverable.size(), 1u);
+  EXPECT_EQ(discoverable[0], c);
+}
+
+TEST_F(MediumTest, BluetoothInquiryAsymmetry) {
+  // §3.4.2: a device that is searching is itself not discoverable.
+  const MacAddress a = add(1, {0.0, 0.0});
+  const MacAddress b = add(2, {3.0, 0.0});
+  medium_.set_inquiring(b, Technology::kBluetooth, true);
+  EXPECT_TRUE(
+      medium_.discoverable_in_range(a, Technology::kBluetooth).empty());
+  medium_.set_inquiring(b, Technology::kBluetooth, false);
+  EXPECT_EQ(medium_.discoverable_in_range(a, Technology::kBluetooth).size(),
+            1u);
+}
+
+TEST_F(MediumTest, WlanHasNoInquiryAsymmetry) {
+  const MacAddress a = add(1, {0.0, 0.0}, Technology::kWlan);
+  const MacAddress b = add(2, {10.0, 0.0}, Technology::kWlan);
+  medium_.set_inquiring(b, Technology::kWlan, true);
+  EXPECT_EQ(medium_.discoverable_in_range(a, Technology::kWlan).size(), 1u);
+}
+
+TEST_F(MediumTest, PeerhoodTagDefaultsTrue) {
+  const MacAddress a = add(1, {0.0, 0.0});
+  EXPECT_TRUE(medium_.peerhood_tag(a, Technology::kBluetooth));
+  medium_.set_peerhood_tag(a, Technology::kBluetooth, false);
+  EXPECT_FALSE(medium_.peerhood_tag(a, Technology::kBluetooth));
+}
+
+TEST_F(MediumTest, QualityDecreasesWithDistance) {
+  const MacAddress a = add(1, {0.0, 0.0});
+  const MacAddress b = add(2, {2.0, 0.0});
+  const MacAddress c = add(3, {9.0, 0.0});
+  EXPECT_GT(medium_.expected_quality(a, b, Technology::kBluetooth),
+            medium_.expected_quality(a, c, Technology::kBluetooth));
+  EXPECT_EQ(medium_.expected_quality(a, MacAddress::from_index(99),
+                                     Technology::kBluetooth),
+            0);
+}
+
+TEST_F(MediumTest, FrameDeliveredInRange) {
+  const MacAddress a = add(1, {0.0, 0.0});
+  const MacAddress b = add(2, {5.0, 0.0});
+  medium_.send_frame(a, b, Technology::kBluetooth, Bytes{1, 2, 3});
+  sim_.run_all();
+  ASSERT_EQ(received_.size(), 1u);
+  EXPECT_EQ(received_[0].to, b);
+  EXPECT_EQ(received_[0].from, a);
+  EXPECT_EQ(received_[0].frame, (Bytes{1, 2, 3}));
+  EXPECT_EQ(medium_.stats().frames, 1u);
+  EXPECT_EQ(medium_.stats().drops, 0u);
+}
+
+TEST_F(MediumTest, FrameDroppedOutOfRange) {
+  const MacAddress a = add(1, {0.0, 0.0});
+  const MacAddress b = add(2, {50.0, 0.0});
+  medium_.send_frame(a, b, Technology::kBluetooth, Bytes{1});
+  sim_.run_all();
+  EXPECT_TRUE(received_.empty());
+  EXPECT_EQ(medium_.stats().drops, 1u);
+}
+
+TEST_F(MediumTest, DeliveryHasLatency) {
+  const MacAddress a = add(1, {0.0, 0.0});
+  const MacAddress b = add(2, {5.0, 0.0});
+  medium_.send_frame(a, b, Technology::kBluetooth, Bytes{1});
+  EXPECT_TRUE(received_.empty());  // not synchronous
+  sim_.run_all();
+  EXPECT_EQ(received_.size(), 1u);
+  EXPECT_GE(sim_.now().seconds(), 0.030);  // at least per-hop latency
+}
+
+TEST_F(MediumTest, LargeFramesTakeLonger) {
+  const MacAddress a = add(1, {0.0, 0.0});
+  const MacAddress b = add(2, {5.0, 0.0});
+  medium_.send_frame(a, b, Technology::kBluetooth, Bytes(100'000, 0));
+  sim_.run_all();
+  // 100 kB at 100 kB/s ≈ 1 s transmission time.
+  EXPECT_GE(sim_.now().seconds(), 1.0);
+}
+
+TEST_F(MediumTest, InOrderDeliveryPerDirection) {
+  const MacAddress a = add(1, {0.0, 0.0});
+  const MacAddress b = add(2, {5.0, 0.0});
+  for (std::uint8_t i = 0; i < 20; ++i) {
+    medium_.send_frame(a, b, Technology::kBluetooth, Bytes{i});
+  }
+  sim_.run_all();
+  ASSERT_EQ(received_.size(), 20u);
+  for (std::uint8_t i = 0; i < 20; ++i) {
+    EXPECT_EQ(received_[i].frame[0], i);
+  }
+}
+
+TEST_F(MediumTest, DropWhenReceiverMovesAwayBeforeDelivery) {
+  const MacAddress a = add(1, {0.0, 0.0});
+  // b walks away fast: in range at send time, out of range at delivery.
+  const MacAddress b = MacAddress::from_index(2);
+  medium_.register_endpoint(
+      b, Technology::kBluetooth,
+      std::make_shared<LinearMotion>(Vec2{9.9, 0.0}, Vec2{300.0, 0.0}),
+      [this, b](MacAddress from, const Bytes& frame) {
+        received_.push_back({b, from, frame});
+      });
+  medium_.send_frame(a, b, Technology::kBluetooth, Bytes(50'000, 0));
+  sim_.run_all();
+  EXPECT_TRUE(received_.empty());
+  EXPECT_EQ(medium_.stats().drops, 1u);
+}
+
+TEST_F(MediumTest, UnregisteredReceiverDrops) {
+  const MacAddress a = add(1, {0.0, 0.0});
+  const MacAddress b = add(2, {5.0, 0.0});
+  medium_.send_frame(a, b, Technology::kBluetooth, Bytes{1});
+  medium_.unregister_endpoint(b, Technology::kBluetooth);
+  sim_.run_all();
+  EXPECT_TRUE(received_.empty());
+}
+
+TEST_F(MediumTest, PositionTracksMobility) {
+  const MacAddress m = MacAddress::from_index(5);
+  medium_.register_endpoint(
+      m, Technology::kBluetooth,
+      std::make_shared<LinearMotion>(Vec2{0.0, 0.0}, Vec2{1.0, 0.0}),
+      nullptr);
+  sim_.schedule_after(seconds(10.0), [] {});
+  sim_.run_all();
+  const auto pos = medium_.position_of(m, Technology::kBluetooth);
+  ASSERT_TRUE(pos.has_value());
+  EXPECT_DOUBLE_EQ(pos->x, 10.0);
+}
+
+}  // namespace
+}  // namespace peerhood::sim

@@ -1,0 +1,115 @@
+#include "sim/mobility.hpp"
+
+#include <gtest/gtest.h>
+
+namespace peerhood::sim {
+namespace {
+
+SimTime at(double s) { return SimTime{} + seconds(s); }
+
+TEST(StaticPosition, NeverMoves) {
+  StaticPosition model{{3.0, 4.0}};
+  EXPECT_EQ(model.position_at(at(0)), (Vec2{3.0, 4.0}));
+  EXPECT_EQ(model.position_at(at(1e6)), (Vec2{3.0, 4.0}));
+}
+
+TEST(LinearMotion, MovesAtConstantVelocity) {
+  LinearMotion model{{0.0, 0.0}, {1.0, 0.5}};
+  const Vec2 p = model.position_at(at(10.0));
+  EXPECT_DOUBLE_EQ(p.x, 10.0);
+  EXPECT_DOUBLE_EQ(p.y, 5.0);
+}
+
+TEST(LinearMotion, HoldsUntilDeparture) {
+  LinearMotion model{{5.0, 5.0}, {1.0, 0.0}, at(10.0)};
+  EXPECT_EQ(model.position_at(at(3.0)), (Vec2{5.0, 5.0}));
+  EXPECT_EQ(model.position_at(at(10.0)), (Vec2{5.0, 5.0}));
+  const Vec2 p = model.position_at(at(15.0));
+  EXPECT_DOUBLE_EQ(p.x, 10.0);
+}
+
+TEST(WaypointPath, InterpolatesLinearly) {
+  WaypointPath model{{
+      {at(0.0), {0.0, 0.0}},
+      {at(10.0), {10.0, 0.0}},
+      {at(20.0), {10.0, 10.0}},
+  }};
+  EXPECT_EQ(model.position_at(at(5.0)), (Vec2{5.0, 0.0}));
+  EXPECT_EQ(model.position_at(at(15.0)), (Vec2{10.0, 5.0}));
+}
+
+TEST(WaypointPath, ClampsOutsideRange) {
+  WaypointPath model{{
+      {at(1.0), {1.0, 1.0}},
+      {at(2.0), {2.0, 2.0}},
+  }};
+  EXPECT_EQ(model.position_at(at(0.0)), (Vec2{1.0, 1.0}));
+  EXPECT_EQ(model.position_at(at(100.0)), (Vec2{2.0, 2.0}));
+}
+
+TEST(WaypointPath, ExactWaypointHit) {
+  WaypointPath model{{
+      {at(0.0), {0.0, 0.0}},
+      {at(10.0), {10.0, 0.0}},
+  }};
+  EXPECT_EQ(model.position_at(at(10.0)), (Vec2{10.0, 0.0}));
+}
+
+TEST(RandomWaypoint, StaysInsideArea) {
+  RandomWaypoint::Config config;
+  config.area_min = {0.0, 0.0};
+  config.area_max = {50.0, 30.0};
+  RandomWaypoint model{config, {25.0, 15.0}, Rng{42}};
+  for (double t = 0.0; t < 600.0; t += 1.0) {
+    const Vec2 p = model.position_at(at(t));
+    EXPECT_GE(p.x, 0.0);
+    EXPECT_LE(p.x, 50.0);
+    EXPECT_GE(p.y, 0.0);
+    EXPECT_LE(p.y, 30.0);
+  }
+}
+
+TEST(RandomWaypoint, SpeedBounded) {
+  RandomWaypoint::Config config;
+  config.speed_min_mps = 0.5;
+  config.speed_max_mps = 1.5;
+  config.pause = SimDuration{0};
+  RandomWaypoint model{config, {10.0, 10.0}, Rng{7}};
+  Vec2 prev = model.position_at(at(0.0));
+  for (double t = 0.1; t < 120.0; t += 0.1) {
+    const Vec2 cur = model.position_at(at(t));
+    const double speed = distance(prev, cur) / 0.1;
+    EXPECT_LE(speed, 1.6);  // small tolerance over max speed
+    prev = cur;
+  }
+}
+
+TEST(RandomWaypoint, DeterministicForSameSeed) {
+  RandomWaypoint::Config config;
+  RandomWaypoint a{config, {1.0, 1.0}, Rng{5}};
+  RandomWaypoint b{config, {1.0, 1.0}, Rng{5}};
+  for (double t = 0.0; t < 100.0; t += 7.0) {
+    EXPECT_EQ(a.position_at(at(t)), b.position_at(at(t)));
+  }
+}
+
+TEST(RandomWaypoint, QueriesMayGoBackwards) {
+  RandomWaypoint model{{}, {50.0, 50.0}, Rng{3}};
+  const Vec2 late = model.position_at(at(500.0));
+  const Vec2 early = model.position_at(at(10.0));
+  const Vec2 late_again = model.position_at(at(500.0));
+  EXPECT_EQ(late, late_again);
+  (void)early;
+}
+
+TEST(Vec2, Arithmetic) {
+  const Vec2 a{1.0, 2.0};
+  const Vec2 b{3.0, 4.0};
+  EXPECT_EQ(a + b, (Vec2{4.0, 6.0}));
+  EXPECT_EQ(b - a, (Vec2{2.0, 2.0}));
+  EXPECT_EQ(a * 2.0, (Vec2{2.0, 4.0}));
+  EXPECT_DOUBLE_EQ(distance(a, b), std::hypot(2.0, 2.0));
+}
+
+}  // namespace
+}  // namespace peerhood::sim

@@ -1,0 +1,129 @@
+#include "sim/radio.hpp"
+
+#include <gtest/gtest.h>
+
+namespace peerhood::sim {
+namespace {
+
+TEST(TechnologyParams, BluetoothMatchesPaperCalibration) {
+  const TechnologyParams bt = bluetooth_params();
+  EXPECT_EQ(bt.tech, Technology::kBluetooth);
+  EXPECT_DOUBLE_EQ(bt.range_m, 10.0);
+  EXPECT_TRUE(bt.asymmetric_discovery);
+  // §4.3: two-hop bridge connections took 3-18 s → per-hop 1.5-9 s.
+  EXPECT_DOUBLE_EQ(bt.connect_delay_min_s, 1.5);
+  EXPECT_DOUBLE_EQ(bt.connect_delay_max_s, 9.0);
+  // ~3 of 10 two-hop attempts failed → per-hop ≈ 0.16.
+  EXPECT_NEAR(bt.connect_failure_prob, 0.16, 1e-9);
+}
+
+TEST(TechnologyParams, WlanAndGprsDiffer) {
+  const TechnologyParams wlan = wlan_params();
+  const TechnologyParams gprs = gprs_params();
+  EXPECT_GT(wlan.range_m, bluetooth_params().range_m);
+  EXPECT_GT(gprs.range_m, wlan.range_m);
+  EXPECT_FALSE(wlan.asymmetric_discovery);
+  EXPECT_LT(wlan.connect_delay_max_s, bluetooth_params().connect_delay_max_s);
+  EXPECT_LT(gprs.bytes_per_second, wlan.bytes_per_second);
+}
+
+TEST(TechnologyParams, DefaultParamsDispatch) {
+  EXPECT_EQ(default_params(Technology::kBluetooth).tech,
+            Technology::kBluetooth);
+  EXPECT_EQ(default_params(Technology::kWlan).tech, Technology::kWlan);
+  EXPECT_EQ(default_params(Technology::kGprs).tech, Technology::kGprs);
+}
+
+TEST(MobilityClass, PaperNumericValues) {
+  // §3.4.3: {static, hybrid, dynamic} = {0, 1, 3}.
+  EXPECT_EQ(mobility_cost(MobilityClass::kStatic), 0);
+  EXPECT_EQ(mobility_cost(MobilityClass::kHybrid), 1);
+  EXPECT_EQ(mobility_cost(MobilityClass::kDynamic), 3);
+}
+
+TEST(LinkQualityModel, MaxAtZeroDistance) {
+  LinkQualityModel model;
+  model.noise = 0.0;
+  EXPECT_EQ(model.quality(0.0, 10.0), 255);
+}
+
+TEST(LinkQualityModel, EdgeValueAtRange) {
+  LinkQualityModel model;
+  model.noise = 0.0;
+  EXPECT_EQ(model.quality(10.0, 10.0), model.q_edge);
+}
+
+TEST(LinkQualityModel, ZeroBeyondRange) {
+  LinkQualityModel model;
+  EXPECT_EQ(model.quality(10.01, 10.0), 0);
+  EXPECT_EQ(model.quality(100.0, 10.0), 0);
+}
+
+TEST(LinkQualityModel, MonotonicallyDecreasing) {
+  LinkQualityModel model;
+  model.noise = 0.0;
+  int prev = 256;
+  for (double d = 0.0; d <= 10.0; d += 0.5) {
+    const int q = model.quality(d, 10.0);
+    EXPECT_LE(q, prev);
+    prev = q;
+  }
+}
+
+TEST(LinkQualityModel, ConcaveProfileStaysHighNearTransmitter) {
+  // RSSI should remain near max until well into the range (exponent 2).
+  LinkQualityModel model;
+  model.noise = 0.0;
+  const int at_quarter = model.quality(2.5, 10.0);
+  EXPECT_GT(at_quarter, 245);
+}
+
+TEST(LinkQualityModel, ThresholdCrossingInsideRange) {
+  // The paper's 230 threshold must be crossed strictly inside the coverage
+  // area, otherwise handover could never precede connection loss.
+  LinkQualityModel model;
+  model.noise = 0.0;
+  double crossing = -1.0;
+  for (double d = 0.0; d <= 10.0; d += 0.01) {
+    if (model.quality(d, 10.0) < LinkQualityModel::kDefaultThreshold) {
+      crossing = d;
+      break;
+    }
+  }
+  ASSERT_GT(crossing, 1.0);
+  ASSERT_LT(crossing, 9.5);
+}
+
+TEST(LinkQualityModel, NoiseIsBounded) {
+  LinkQualityModel model;
+  model.noise = 2.0;
+  Rng rng{31};
+  for (int i = 0; i < 1000; ++i) {
+    const int q = model.quality(5.0, 10.0, &rng);
+    const int clean = model.quality(5.0, 10.0, nullptr);
+    EXPECT_NEAR(q, clean, 3);
+  }
+}
+
+TEST(LinkQualityModel, ClampedToValidRange) {
+  LinkQualityModel model;
+  model.noise = 50.0;
+  Rng rng{33};
+  for (int i = 0; i < 1000; ++i) {
+    const int q = model.quality(9.9, 10.0, &rng);
+    EXPECT_GE(q, 1);
+    EXPECT_LE(q, 255);
+  }
+}
+
+TEST(ToString, Names) {
+  EXPECT_EQ(to_string(Technology::kBluetooth), "bluetooth");
+  EXPECT_EQ(to_string(Technology::kWlan), "wlan");
+  EXPECT_EQ(to_string(Technology::kGprs), "gprs");
+  EXPECT_EQ(to_string(MobilityClass::kStatic), "static");
+  EXPECT_EQ(to_string(MobilityClass::kHybrid), "hybrid");
+  EXPECT_EQ(to_string(MobilityClass::kDynamic), "dynamic");
+}
+
+}  // namespace
+}  // namespace peerhood::sim

@@ -1,0 +1,62 @@
+#include "common/result.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+namespace peerhood {
+namespace {
+
+TEST(Result, HoldsValue) {
+  Result<int> r{42};
+  ASSERT_TRUE(r.ok());
+  EXPECT_TRUE(static_cast<bool>(r));
+  EXPECT_EQ(r.value(), 42);
+  EXPECT_EQ(r.value_or(0), 42);
+}
+
+TEST(Result, HoldsError) {
+  Result<int> r{Error{ErrorCode::kTimeout, "too slow"}};
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.error().code, ErrorCode::kTimeout);
+  EXPECT_EQ(r.error().message, "too slow");
+  EXPECT_EQ(r.value_or(-1), -1);
+}
+
+TEST(Result, MoveOutValue) {
+  Result<std::string> r{std::string("payload")};
+  const std::string moved = std::move(r).value();
+  EXPECT_EQ(moved, "payload");
+}
+
+TEST(Result, ErrorToString) {
+  const Error e{ErrorCode::kNoRoute, "no bridge"};
+  EXPECT_EQ(e.to_string(), "no_route: no bridge");
+  const Error bare{ErrorCode::kConnectionFailed, ""};
+  EXPECT_EQ(bare.to_string(), "connection_failed");
+}
+
+TEST(Status, DefaultIsOk) {
+  const Status s;
+  EXPECT_TRUE(s.ok());
+}
+
+TEST(Status, CarriesError) {
+  const Status s{ErrorCode::kCapacityExceeded, "bridge full"};
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.error().code, ErrorCode::kCapacityExceeded);
+}
+
+TEST(ErrorCode, AllCodesHaveNames) {
+  for (const ErrorCode code :
+       {ErrorCode::kOk, ErrorCode::kTimeout, ErrorCode::kConnectionFailed,
+        ErrorCode::kConnectionClosed, ErrorCode::kNoRoute,
+        ErrorCode::kNoSuchDevice, ErrorCode::kNoSuchService,
+        ErrorCode::kProtocolError, ErrorCode::kCapacityExceeded,
+        ErrorCode::kCancelled, ErrorCode::kInvalidArgument}) {
+    EXPECT_STRNE(to_string(code), "unknown");
+  }
+}
+
+}  // namespace
+}  // namespace peerhood

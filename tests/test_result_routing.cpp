@@ -1,0 +1,223 @@
+// Result routing tests (§5.3): the server delivers a ready result to a
+// client whose connection is gone — via client parameters (Method 2) or a
+// discovered client service (Method 1), through bridges when necessary.
+#include <gtest/gtest.h>
+
+#include "handover/result_router.hpp"
+#include "scenario_util.hpp"
+
+namespace peerhood {
+namespace {
+
+using handover::ReconnectMethod;
+using handover::ResultRouter;
+using handover::ResultRouterConfig;
+using node::Testbed;
+using testing::fast_node;
+using testing::reliable_bluetooth;
+
+class ResultRoutingTest : public ::testing::Test {
+ protected:
+  void build(std::uint64_t seed, ReconnectMethod method) {
+    method_ = method;
+    testbed_ = std::make_unique<Testbed>(seed);
+    testbed_->medium().configure(reliable_bluetooth());
+    client_ = &testbed_->add_node("client", {0.0, 0.0},
+                                  fast_node(MobilityClass::kDynamic));
+    server_ = &testbed_->add_node("server", {5.0, 0.0},
+                                  fast_node(MobilityClass::kStatic));
+    // The client's result-callback service: visible "client" attribute for
+    // Method 1, hidden for Method 2.
+    (void)client_->library().register_service(
+        ServiceInfo{"client.result",
+                    method == ReconnectMethod::kClientService ? "client"
+                                                              : kHiddenAttribute,
+                    0},
+        [this](ChannelPtr channel, const wire::ConnectRequest&) {
+          callback_channel_ = channel;
+          channel->set_data_handler(
+              [this](const Bytes& frame) { client_received_ = frame; });
+        });
+    (void)server_->library().register_service(
+        ServiceInfo{"compute", "", 0},
+        [this](ChannelPtr channel, const wire::ConnectRequest&) {
+          server_channel_ = channel;
+        });
+    testbed_->run_discovery_rounds(4);
+  }
+
+  ChannelPtr connect_with_params() {
+    Library::ConnectOptions options;
+    options.include_client_params = true;
+    options.reconnect_service = "client.result";
+    auto result =
+        client_->connect_blocking(server_->mac(), "compute", options);
+    EXPECT_TRUE(result.ok());
+    return result.ok() ? result.value() : nullptr;
+  }
+
+  std::unique_ptr<Testbed> testbed_;
+  node::Node* client_{nullptr};
+  node::Node* server_{nullptr};
+  ChannelPtr server_channel_;
+  ChannelPtr callback_channel_;
+  Bytes client_received_;
+  ReconnectMethod method_{ReconnectMethod::kClientParams};
+};
+
+TEST_F(ResultRoutingTest, LiveChannelDeliversDirectly) {
+  build(1, ReconnectMethod::kClientParams);
+  const ChannelPtr channel = connect_with_params();
+  ASSERT_NE(server_channel_, nullptr);
+  Bytes got;
+  channel->set_data_handler([&](const Bytes& frame) { got = frame; });
+
+  ResultRouter router{server_->library()};
+  std::optional<Status> status;
+  router.deliver(server_channel_, Bytes{1, 2, 3},
+                 [&](Status s) { status = s; });
+  testbed_->run_for(5.0);
+  ASSERT_TRUE(status.has_value());
+  EXPECT_TRUE(status->ok());
+  EXPECT_EQ(got, (Bytes{1, 2, 3}));
+  EXPECT_EQ(router.stats().delivered_live, 1u);
+}
+
+TEST_F(ResultRoutingTest, Method2ReconnectsAfterLoss) {
+  build(2, ReconnectMethod::kClientParams);
+  const ChannelPtr channel = connect_with_params();
+  ASSERT_NE(server_channel_, nullptr);
+  // Client side drops the connection (simulating §5.3: "after the data
+  // sending it will simulate the device movement disconnecting").
+  channel->close();
+  testbed_->run_for(3.0);
+  ASSERT_FALSE(server_channel_->open());
+
+  ResultRouter router{server_->library()};
+  std::optional<Status> status;
+  router.deliver(server_channel_, Bytes{9, 9}, [&](Status s) { status = s; });
+  testbed_->run_for(60.0);
+  ASSERT_TRUE(status.has_value());
+  EXPECT_TRUE(status->ok()) << status->error().to_string();
+  EXPECT_EQ(client_received_, (Bytes{9, 9}));
+  EXPECT_EQ(router.stats().delivered_reconnect, 1u);
+}
+
+TEST_F(ResultRoutingTest, Method1UsesDiscoveredClientService) {
+  build(3, ReconnectMethod::kClientService);
+  const ChannelPtr channel = connect_with_params();
+  ASSERT_NE(server_channel_, nullptr);
+  channel->close();
+  testbed_->run_for(3.0);
+
+  ResultRouterConfig config;
+  config.method = ReconnectMethod::kClientService;
+  ResultRouter router{server_->library(), config};
+  std::optional<Status> status;
+  router.deliver(server_channel_, Bytes{4, 2}, [&](Status s) { status = s; });
+  testbed_->run_for(90.0);
+  ASSERT_TRUE(status.has_value());
+  EXPECT_TRUE(status->ok()) << status->error().to_string();
+  EXPECT_EQ(client_received_, (Bytes{4, 2}));
+}
+
+TEST_F(ResultRoutingTest, Method2FailsWithoutParams) {
+  build(4, ReconnectMethod::kClientParams);
+  // Connect WITHOUT pushing client parameters.
+  auto result = client_->connect_blocking(server_->mac(), "compute");
+  ASSERT_TRUE(result.ok());
+  ASSERT_NE(server_channel_, nullptr);
+  result.value()->close();
+  testbed_->run_for(3.0);
+
+  ResultRouter router{server_->library()};
+  std::optional<Status> status;
+  router.deliver(server_channel_, Bytes{1}, [&](Status s) { status = s; });
+  testbed_->run_for(30.0);
+  ASSERT_TRUE(status.has_value());
+  EXPECT_FALSE(status->ok());
+  EXPECT_EQ(router.stats().failures, 1u);
+}
+
+TEST_F(ResultRoutingTest, ReconnectsThroughBridgeWhenClientMoved) {
+  // Client uploads next to the server, then moves behind a bridge; the
+  // result must travel server -> bridge -> client (Fig. 5.9).
+  Testbed testbed{5};
+  testbed.medium().configure(reliable_bluetooth());
+  auto& server = testbed.add_node("server", {0.0, 0.0},
+                                  fast_node(MobilityClass::kStatic));
+  auto& bridge = testbed.add_node("bridge", {8.0, 0.0},
+                                  fast_node(MobilityClass::kStatic));
+  auto& client = testbed.add_mobile_node(
+      "client",
+      std::make_shared<sim::WaypointPath>(
+          std::vector<sim::WaypointPath::Waypoint>{
+              {SimTime{} + seconds(0.0), {2.0, 0.0}},
+              {SimTime{} + seconds(80.0), {2.0, 0.0}},
+              {SimTime{} + seconds(120.0), {14.0, 0.0}},
+          }),
+      fast_node(MobilityClass::kDynamic));
+  (void)bridge.name();
+
+  Bytes client_received;
+  (void)client.library().register_service(
+      ServiceInfo{"client.result", kHiddenAttribute, 0},
+      [&](ChannelPtr channel, const wire::ConnectRequest&) {
+        auto keep = channel;
+        channel->set_data_handler(
+            [&client_received, keep](const Bytes& f) { client_received = f; });
+      });
+  ChannelPtr server_channel;
+  (void)server.library().register_service(
+      ServiceInfo{"compute", "", 0},
+      [&](ChannelPtr channel, const wire::ConnectRequest&) {
+        server_channel = channel;
+      });
+  testbed.run_discovery_rounds(3);
+
+  Library::ConnectOptions options;
+  options.include_client_params = true;
+  options.reconnect_service = "client.result";
+  auto result = client.connect_blocking(server.mac(), "compute", options);
+  ASSERT_TRUE(result.ok());
+  ASSERT_NE(server_channel, nullptr);
+
+  // Let the client walk away; the connection dies on coverage loss.
+  testbed.run_for(130.0);
+  ASSERT_FALSE(server_channel->open());
+
+  // Give discovery time to re-route the client via the bridge, then send.
+  ResultRouterConfig config;
+  config.max_attempts = 6;
+  handover::ResultRouter router{server.library(), config};
+  std::optional<Status> status;
+  router.deliver(server_channel, Bytes{7, 7, 7},
+                 [&](Status s) { status = s; });
+  testbed.run_for(240.0);
+  ASSERT_TRUE(status.has_value());
+  EXPECT_TRUE(status->ok()) << status->error().to_string();
+  EXPECT_EQ(client_received, (Bytes{7, 7, 7}));
+}
+
+TEST_F(ResultRoutingTest, GivesUpWhenClientUnreachable) {
+  build(6, ReconnectMethod::kClientParams);
+  const ChannelPtr channel = connect_with_params();
+  ASSERT_NE(server_channel_, nullptr);
+  channel->close();
+  // The client vanishes completely.
+  client_->daemon().stop();
+  testbed_->run_for(60.0);
+
+  ResultRouterConfig config;
+  config.max_attempts = 2;
+  config.retry_delay = seconds(5.0);
+  ResultRouter router{server_->library(), config};
+  std::optional<Status> status;
+  router.deliver(server_channel_, Bytes{1}, [&](Status s) { status = s; });
+  testbed_->run_for(120.0);
+  ASSERT_TRUE(status.has_value());
+  EXPECT_FALSE(status->ok());
+}
+
+}  // namespace
+}  // namespace peerhood

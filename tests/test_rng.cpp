@@ -1,0 +1,113 @@
+#include "common/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace peerhood {
+namespace {
+
+TEST(Rng, Deterministic) {
+  Rng a{42};
+  Rng b{42};
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.next_u64(), b.next_u64());
+  }
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a{1};
+  Rng b{2};
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.next_u64() == b.next_u64()) ++same;
+  }
+  EXPECT_LT(same, 2);
+}
+
+TEST(Rng, NextDoubleInUnitInterval) {
+  Rng rng{7};
+  for (int i = 0; i < 10'000; ++i) {
+    const double x = rng.next_double();
+    EXPECT_GE(x, 0.0);
+    EXPECT_LT(x, 1.0);
+  }
+}
+
+TEST(Rng, UniformRespectsBounds) {
+  Rng rng{9};
+  for (int i = 0; i < 10'000; ++i) {
+    const double x = rng.uniform(3.0, 18.0);
+    EXPECT_GE(x, 3.0);
+    EXPECT_LT(x, 18.0);
+  }
+}
+
+TEST(Rng, UniformMeanIsCentred) {
+  Rng rng{11};
+  double sum = 0.0;
+  const int n = 100'000;
+  for (int i = 0; i < n; ++i) sum += rng.uniform(0.0, 10.0);
+  EXPECT_NEAR(sum / n, 5.0, 0.05);
+}
+
+TEST(Rng, UniformIntInclusive) {
+  Rng rng{13};
+  bool saw_lo = false;
+  bool saw_hi = false;
+  for (int i = 0; i < 10'000; ++i) {
+    const std::int64_t v = rng.uniform_int(0, 5);
+    EXPECT_GE(v, 0);
+    EXPECT_LE(v, 5);
+    saw_lo |= v == 0;
+    saw_hi |= v == 5;
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(Rng, UniformIntDegenerateRange) {
+  Rng rng{15};
+  EXPECT_EQ(rng.uniform_int(4, 4), 4);
+  EXPECT_EQ(rng.uniform_int(4, 3), 4);
+}
+
+TEST(Rng, BernoulliFrequency) {
+  Rng rng{17};
+  int hits = 0;
+  const int n = 100'000;
+  for (int i = 0; i < n; ++i) {
+    if (rng.bernoulli(0.16)) ++hits;
+  }
+  EXPECT_NEAR(static_cast<double>(hits) / n, 0.16, 0.01);
+}
+
+TEST(Rng, BernoulliDegenerate) {
+  Rng rng{19};
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(rng.bernoulli(0.0));
+    EXPECT_TRUE(rng.bernoulli(1.0));
+  }
+}
+
+TEST(Rng, ExponentialMean) {
+  Rng rng{21};
+  double sum = 0.0;
+  const int n = 200'000;
+  for (int i = 0; i < n; ++i) sum += rng.exponential(4.0);
+  EXPECT_NEAR(sum / n, 4.0, 0.1);
+}
+
+TEST(Rng, ForkIsIndependent) {
+  Rng parent{23};
+  Rng child = parent.fork();
+  // Parent continues from a different point than the child stream.
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (parent.next_u64() == child.next_u64()) ++same;
+  }
+  EXPECT_LT(same, 2);
+}
+
+}  // namespace
+}  // namespace peerhood

@@ -1,0 +1,131 @@
+// Route-preference policy tests, including the paper's worked examples:
+// Fig. 3.8 (pick the route with the larger quality sum) and Fig. 3.9 (equal
+// sums — reject the route whose individual link is below the 230 threshold).
+#include "discovery/route_policy.hpp"
+
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "discovery/device_storage.hpp"
+
+namespace peerhood {
+namespace {
+
+DeviceRecord route(int jump, int mobility, int quality_sum, int min_quality) {
+  DeviceRecord record;
+  record.device.mac = MacAddress::from_index(1);
+  record.jump = jump;
+  record.route_mobility = mobility;
+  record.quality_sum = quality_sum;
+  record.min_link_quality = min_quality;
+  return record;
+}
+
+TEST(RoutePolicy, FewerJumpsWin) {
+  const RoutePolicy policy;
+  EXPECT_TRUE(policy.prefer(route(1, 3, 200, 100), route(2, 0, 999, 250)));
+  EXPECT_FALSE(policy.prefer(route(2, 0, 999, 250), route(1, 3, 200, 100)));
+}
+
+TEST(RoutePolicy, LowerMobilityBreaksJumpTie) {
+  const RoutePolicy policy;
+  // §3.4.3: prefer static bridges — traffic concentrates on the backbone.
+  EXPECT_TRUE(policy.prefer(route(1, 0, 100, 100), route(1, 3, 150, 120)));
+  EXPECT_FALSE(policy.prefer(route(1, 3, 150, 120), route(1, 0, 100, 100)));
+}
+
+TEST(RoutePolicy, QualitySumBreaksRemainingTie) {
+  const RoutePolicy policy;
+  EXPECT_TRUE(policy.prefer(route(1, 1, 460, 100), route(1, 1, 440, 120)));
+  EXPECT_FALSE(policy.prefer(route(1, 1, 440, 120), route(1, 1, 460, 100)));
+}
+
+TEST(RoutePolicy, EqualRoutesNotPreferred) {
+  const RoutePolicy policy;
+  EXPECT_FALSE(policy.prefer(route(1, 1, 400, 240), route(1, 1, 400, 240)));
+}
+
+TEST(RoutePolicy, Figure38QualityAddition) {
+  // Fig. 3.8: two 1-jump routes A-B-D vs A-C-D; pick the larger AB+BD sum.
+  const RoutePolicy policy;
+  const DeviceRecord via_b = route(1, 0, 250 + 245, 245);
+  const DeviceRecord via_c = route(1, 0, 240 + 235, 235);
+  EXPECT_TRUE(policy.prefer(via_b, via_c));
+}
+
+TEST(RoutePolicy, Figure39ThresholdEquity) {
+  // Fig. 3.9: both routes sum to 460, but A-C = 210 < 230 — "the route
+  // A-C-D won't be accepted due to A-C being lower than the minimum
+  // threshold 230".
+  const RoutePolicy policy;
+  const DeviceRecord via_b = route(1, 0, 230 + 230, 230);
+  const DeviceRecord via_c = route(1, 0, 210 + 250, 210);
+  EXPECT_TRUE(policy.admissible(via_b));
+  EXPECT_FALSE(policy.admissible(via_c));
+  EXPECT_TRUE(policy.prefer(via_b, via_c));
+  EXPECT_FALSE(policy.prefer(via_c, via_b));
+}
+
+TEST(RoutePolicy, JumpsDominateAdmissibility) {
+  // The Fig. 3.9 threshold is a tie-breaker *within* a jump class: a short
+  // weak route still beats a longer admissible one — in particular a direct
+  // observation can never be displaced by a multi-hop detour.
+  const RoutePolicy policy;
+  const DeviceRecord long_good = route(2, 0, 700, 235);
+  const DeviceRecord short_weak = route(1, 0, 400, 180);
+  EXPECT_FALSE(policy.prefer(long_good, short_weak));
+  EXPECT_TRUE(policy.prefer(short_weak, long_good));
+}
+
+TEST(RoutePolicy, AdmissibilityBreaksSameJumpTies) {
+  const RoutePolicy policy;
+  const DeviceRecord weak_high_sum = route(1, 0, 520, 180);
+  const DeviceRecord good_low_sum = route(1, 0, 470, 235);
+  EXPECT_TRUE(policy.prefer(good_low_sum, weak_high_sum));
+  EXPECT_FALSE(policy.prefer(weak_high_sum, good_low_sum));
+}
+
+TEST(RoutePolicy, ThresholdDisabledFallsBackToChain) {
+  RoutePolicy policy;
+  policy.enforce_threshold = false;
+  const DeviceRecord weak_high_sum = route(1, 0, 520, 180);
+  const DeviceRecord good_low_sum = route(1, 0, 470, 235);
+  EXPECT_FALSE(policy.prefer(good_low_sum, weak_high_sum));
+  EXPECT_TRUE(policy.prefer(weak_high_sum, good_low_sum));
+}
+
+// Property sweep: the preference relation must be a strict weak ordering —
+// asymmetric and never both-ways — across a grid of route shapes.
+class RoutePolicyProperty
+    : public ::testing::TestWithParam<std::tuple<int, int, int, int>> {};
+
+TEST_P(RoutePolicyProperty, PreferenceIsAsymmetric) {
+  const auto [jump_a, mob_a, qual_a, min_a] = GetParam();
+  const RoutePolicy policy;
+  const DeviceRecord a = route(jump_a, mob_a, qual_a, min_a);
+  for (const int jump_b : {0, 1, 3}) {
+    for (const int mob_b : {0, 1, 3}) {
+      for (const int qual_b : {200, 400, 700}) {
+        for (const int min_b : {180, 230, 250}) {
+          const DeviceRecord b = route(jump_b, mob_b, qual_b, min_b);
+          EXPECT_FALSE(policy.prefer(a, b) && policy.prefer(b, a))
+              << "both-ways preference for (" << jump_a << "," << mob_a << ","
+              << qual_a << "," << min_a << ") vs (" << jump_b << "," << mob_b
+              << "," << qual_b << "," << min_b << ")";
+        }
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, RoutePolicyProperty,
+    ::testing::Combine(::testing::Values(0, 1, 3),        // jumps
+                       ::testing::Values(0, 1, 3),        // mobility
+                       ::testing::Values(200, 400, 700),  // quality sum
+                       ::testing::Values(180, 230, 250)   // min link
+                       ));
+
+}  // namespace
+}  // namespace peerhood
