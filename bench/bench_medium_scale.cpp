@@ -1,0 +1,150 @@
+// E-scale — neighbour-query scaling of the radio medium (ISSUE 1 tentpole).
+//
+// A "discovery sweep" asks the medium for every node's in-range neighbour
+// set — exactly what the PeerHood inquiry loops do once per searching cycle.
+// The sweep is timed two ways over the same randomly moving population:
+//
+//  * brute: in_range_of_brute — the pre-grid linear scan, one virtual
+//    position_at call per registered endpoint per query (O(N^2) per sweep);
+//  * grid:  in_range_of — spatial grid + per-SimTime position cache
+//    (O(N) rebuild per tick, then O(local density) per query).
+//
+// Node density is held constant (~8 expected Bluetooth neighbours) so the
+// sweep cost isolates the index, not a denser radio environment. Each
+// repetition advances simulated time to force grid rebuilds and position
+// re-sampling, matching how discovery cycles hit the medium in real runs.
+#include <benchmark/benchmark.h>
+
+#include <chrono>
+#include <cmath>
+#include <memory>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "sim/medium.hpp"
+
+namespace {
+
+using namespace peerhood;
+using namespace peerhood::bench;
+
+constexpr double kTargetNeighbours = 8.0;
+
+struct Scene {
+  explicit Scene(int n, std::uint64_t seed) : sim{seed}, medium{sim} {
+    const double range = medium.params(Technology::kBluetooth).range_m;
+    const double area =
+        static_cast<double>(n) * M_PI * range * range / kTargetNeighbours;
+    const double side = std::sqrt(area);
+    Rng rng = sim.fork_rng();
+    macs.reserve(static_cast<std::size_t>(n));
+    for (int i = 1; i <= n; ++i) {
+      sim::RandomWaypoint::Config config;
+      config.area_min = {0.0, 0.0};
+      config.area_max = {side, side};
+      config.speed_min_mps = 0.5;
+      config.speed_max_mps = 2.0;
+      const sim::Vec2 start{rng.uniform(0.0, side), rng.uniform(0.0, side)};
+      const MacAddress mac = MacAddress::from_index(
+          static_cast<std::uint64_t>(i));
+      medium.register_endpoint(
+          mac, Technology::kBluetooth,
+          std::make_shared<sim::RandomWaypoint>(config, start, sim.fork_rng()),
+          nullptr);
+      macs.push_back(mac);
+    }
+  }
+
+  sim::Simulator sim;
+  sim::RadioMedium medium;
+  std::vector<MacAddress> macs;
+};
+
+// One full discovery sweep; returns total neighbour count (checksum).
+template <bool kBrute>
+std::size_t sweep(Scene& scene) {
+  std::size_t total = 0;
+  for (const MacAddress mac : scene.macs) {
+    const auto neighbours =
+        kBrute ? scene.medium.in_range_of_brute(mac, Technology::kBluetooth)
+               : scene.medium.in_range_of(mac, Technology::kBluetooth);
+    total += neighbours.size();
+  }
+  return total;
+}
+
+template <bool kBrute>
+double timed_sweeps_ms(Scene& scene, int reps, std::size_t* checksum) {
+  using Clock = std::chrono::steady_clock;
+  double total_ms = 0.0;
+  for (int rep = 0; rep < reps; ++rep) {
+    // Advance virtual time so every rep re-samples positions and (for the
+    // grid path) rebuilds the index — no free riding on a warm cache.
+    scene.sim.run_until(scene.sim.now() + seconds(1.0));
+    const auto begin = Clock::now();
+    *checksum += sweep<kBrute>(scene);
+    const auto end = Clock::now();
+    total_ms += std::chrono::duration<double, std::milli>(end - begin).count();
+  }
+  return total_ms / reps;
+}
+
+void report_sweep_scaling() {
+  heading("E-scale  Discovery sweep: brute-force scan vs spatial grid");
+  std::printf("%7s %14s %14s %10s %12s\n", "nodes", "brute (ms)", "grid (ms)",
+              "speedup", "checksum ok");
+  for (const int n : {100, 500, 1000, 2000, 5000}) {
+    // Fewer reps at the largest sizes keeps the brute baseline affordable.
+    const int reps = n >= 2000 ? 3 : 5;
+    std::size_t check_brute = 0;
+    std::size_t check_grid = 0;
+    Scene brute_scene{n, /*seed=*/7};
+    Scene grid_scene{n, /*seed=*/7};
+    const double brute_ms =
+        timed_sweeps_ms<true>(brute_scene, reps, &check_brute);
+    const double grid_ms =
+        timed_sweeps_ms<false>(grid_scene, reps, &check_grid);
+    // Identical seeds + identical rep schedule => the sweeps must count the
+    // exact same neighbour sets; a mismatch means the grid is wrong.
+    const bool checksum_ok = check_brute == check_grid;
+    const double speedup = grid_ms > 0.0 ? brute_ms / grid_ms : 0.0;
+    std::printf("%7d %14.3f %14.3f %9.1fx %12s\n", n, brute_ms, grid_ms,
+                speedup, checksum_ok ? "yes" : "NO");
+    JsonRecord{"medium_scale_sweep"}
+        .field("nodes", n)
+        .field("brute_ms_per_sweep", brute_ms)
+        .field("grid_ms_per_sweep", grid_ms)
+        .field("speedup", speedup)
+        .field("checksum_ok", checksum_ok)
+        .emit();
+  }
+  note("acceptance: >= 5x at 2000 nodes; checksum compares total neighbour");
+  note("counts between the two implementations over identical scenarios.");
+}
+
+void BM_MediumSweepGrid2000(benchmark::State& state) {
+  Scene scene{2000, 7};
+  for (auto _ : state) {
+    scene.sim.run_until(scene.sim.now() + seconds(1.0));
+    benchmark::DoNotOptimize(sweep<false>(scene));
+  }
+}
+BENCHMARK(BM_MediumSweepGrid2000)->Unit(benchmark::kMillisecond);
+
+void BM_MediumSweepBrute2000(benchmark::State& state) {
+  Scene scene{2000, 7};
+  for (auto _ : state) {
+    scene.sim.run_until(scene.sim.now() + seconds(1.0));
+    benchmark::DoNotOptimize(sweep<true>(scene));
+  }
+}
+BENCHMARK(BM_MediumSweepBrute2000)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  report_sweep_scaling();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

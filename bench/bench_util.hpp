@@ -5,9 +5,11 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdint>
 #include <cstdio>
 #include <numeric>
 #include <string>
+#include <type_traits>
 #include <vector>
 
 #include "node/testbed.hpp"
@@ -42,6 +44,70 @@ inline void heading(const std::string& title) {
 inline void note(const std::string& text) {
   std::printf("    %s\n", text.c_str());
 }
+
+// Machine-readable perf record: accumulates fields, then prints one
+//   BENCH_JSON {"bench":"...","n":2000,...}
+// line. CI greps these lines so the perf trajectory can be tracked across
+// PRs without parsing the human-readable tables.
+class JsonRecord {
+ public:
+  explicit JsonRecord(const std::string& bench) { field("bench", bench); }
+
+  JsonRecord& field(const std::string& key, const std::string& value) {
+    add_key(key);
+    body_ += '"';
+    append_escaped(value);
+    body_ += '"';
+    return *this;
+  }
+
+  JsonRecord& field(const std::string& key, double value) {
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.6g", value);
+    add_key(key);
+    body_ += buf;
+    return *this;
+  }
+
+  JsonRecord& field(const std::string& key, bool value) {
+    add_key(key);
+    body_ += value ? "true" : "false";
+    return *this;
+  }
+
+  // Without this, a string literal would bind to the bool overload (standard
+  // conversion beats user-defined conversion to std::string).
+  JsonRecord& field(const std::string& key, const char* value) {
+    return field(key, std::string{value});
+  }
+
+  template <typename Int,
+            typename = std::enable_if_t<std::is_integral_v<Int>>>
+  JsonRecord& field(const std::string& key, Int value) {
+    add_key(key);
+    body_ += std::to_string(value);
+    return *this;
+  }
+
+  void emit() const { std::printf("BENCH_JSON {%s}\n", body_.c_str()); }
+
+ private:
+  void add_key(const std::string& key) {
+    if (!body_.empty()) body_ += ',';
+    body_ += '"';
+    append_escaped(key);
+    body_ += "\":";
+  }
+
+  void append_escaped(const std::string& text) {
+    for (const char c : text) {
+      if (c == '"' || c == '\\') body_ += '\\';
+      body_ += c;
+    }
+  }
+
+  std::string body_;
+};
 
 // Node options matching the thesis deployment: Bluetooth only, per-loop
 // neighbourhood refresh.

@@ -1,6 +1,7 @@
 #include "discovery/device_storage.hpp"
 
 #include <algorithm>
+#include <unordered_set>
 
 namespace peerhood {
 
@@ -102,15 +103,17 @@ std::vector<MacAddress> DeviceStorage::age_direct(
     Technology tech, const std::vector<MacAddress>& responders, int max_missed,
     SimTime now) {
   std::vector<MacAddress> removed;
+  // Hashed responder set: one pass over `responders` instead of a linear
+  // std::find per stored record (O(records * responders) at scale).
+  const std::unordered_set<MacAddress> responded_set(responders.begin(),
+                                                     responders.end());
   for (auto it = records_.begin(); it != records_.end();) {
     DeviceRecord& record = it->second;
     if (!record.is_direct() || record.via_tech != tech) {
       ++it;
       continue;
     }
-    const bool responded =
-        std::find(responders.begin(), responders.end(), record.device.mac) !=
-        responders.end();
+    const bool responded = responded_set.contains(record.device.mac);
     if (responded) {
       record.missed_loops = 0;
       record.last_seen = now;
@@ -141,12 +144,11 @@ void DeviceStorage::remove_routes_via(MacAddress bridge) {
 
 void DeviceStorage::reconcile_bridge(MacAddress bridge,
                                      const std::vector<MacAddress>& alive) {
+  const std::unordered_set<MacAddress> alive_set(alive.begin(), alive.end());
   for (auto it = records_.begin(); it != records_.end();) {
     const DeviceRecord& record = it->second;
     const bool via_bridge = !record.is_direct() && record.bridge == bridge;
-    const bool still_known =
-        std::find(alive.begin(), alive.end(), record.device.mac) !=
-        alive.end();
+    const bool still_known = alive_set.contains(record.device.mac);
     if (via_bridge && !still_known) {
       it = records_.erase(it);
     } else {

@@ -69,6 +69,8 @@ void Plugin::end_inquiry() {
   cycle_responders_.clear();
   fetch_queue_.clear();
   fetch_index_ = 0;
+  cycle_responders_.reserve(raw.size());
+  fetch_queue_.reserve(raw.size());
 
   const SimTime now = daemon_.simulator().now();
   for (const MacAddress responder : raw) {

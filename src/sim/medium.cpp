@@ -12,16 +12,39 @@ RadioMedium::RadioMedium(Simulator& sim, LinkQualityModel quality_model)
                                 Technology::kGprs}) {
     configure(default_params(tech));
   }
+  time_observer_ = sim_.add_time_observer([this] { ++position_gen_; });
+}
+
+RadioMedium::~RadioMedium() { sim_.remove_time_observer(time_observer_); }
+
+std::size_t RadioMedium::tech_index(Technology tech) {
+  const auto index = static_cast<std::size_t>(tech);
+  assert(index < kTechnologyCount);
+  return index;
+}
+
+bool RadioMedium::within_range(Vec2 a, Vec2 b, double range_m) {
+  const double dx = a.x - b.x;
+  const double dy = a.y - b.y;
+  return dx * dx + dy * dy <= range_m * range_m;
+}
+
+RadioMedium::TechState& RadioMedium::state(Technology tech) const {
+  return tech_[tech_index(tech)];
 }
 
 void RadioMedium::configure(const TechnologyParams& params) {
-  params_[static_cast<std::uint8_t>(params.tech)] = params;
+  assert(params.range_m > 0.0);
+  TechState& ts = state(params.tech);
+  ts.params = params;
+  if (ts.grid.cell_size() != params.range_m) {
+    ts.grid.set_cell_size(params.range_m);
+  }
+  ts.grid_gen = 0;  // force a rebuild on the next query
 }
 
 const TechnologyParams& RadioMedium::params(Technology tech) const {
-  const auto it = params_.find(static_cast<std::uint8_t>(tech));
-  assert(it != params_.end());
-  return it->second;
+  return state(tech).params;
 }
 
 void RadioMedium::register_endpoint(
@@ -33,11 +56,22 @@ void RadioMedium::register_endpoint(
   endpoint.tech = tech;
   endpoint.mobility = std::move(mobility);
   endpoint.handler = std::move(handler);
-  endpoints_.insert_or_assign(key(mac, tech), std::move(endpoint));
+  const auto [it, inserted] =
+      endpoints_.insert_or_assign(key(mac, tech), std::move(endpoint));
+  // Keep a current grid consistent incrementally; a stale grid is rebuilt
+  // wholesale on the next query anyway.
+  TechState& ts = state(tech);
+  if (ts.grid_gen == position_gen_) {
+    ts.grid.insert(mac.as_u64(), cached_position(it->second), &it->second);
+  }
+  (void)inserted;
 }
 
 void RadioMedium::unregister_endpoint(MacAddress mac, Technology tech) {
-  endpoints_.erase(key(mac, tech));
+  if (endpoints_.erase(key(mac, tech)) > 0) {
+    // Always evict: a current grid must never hold a dangling payload.
+    state(tech).grid.remove(mac.as_u64());
+  }
 }
 
 bool RadioMedium::has_endpoint(MacAddress mac, Technology tech) const {
@@ -53,6 +87,30 @@ const RadioMedium::Endpoint* RadioMedium::find(MacAddress mac,
 RadioMedium::Endpoint* RadioMedium::find(MacAddress mac, Technology tech) {
   const auto it = endpoints_.find(key(mac, tech));
   return it == endpoints_.end() ? nullptr : &it->second;
+}
+
+Vec2 RadioMedium::cached_position(const Endpoint& endpoint) const {
+  if (endpoint.cached_gen != position_gen_) {
+    endpoint.cached_position = endpoint.mobility->position_at(sim_.now());
+    endpoint.cached_gen = position_gen_;
+  }
+  return endpoint.cached_position;
+}
+
+void RadioMedium::ensure_grid(TechState& ts) const {
+  if (ts.grid_gen == position_gen_) return;
+  // Rebuild every stale grid in one pass over the endpoint map, so a tick
+  // that queries several technologies still pays a single O(N) scan.
+  for (TechState& stale : tech_) {
+    if (stale.grid_gen != position_gen_) stale.grid.clear();
+  }
+  for (const auto& [k, endpoint] : endpoints_) {
+    TechState& owner = tech_[tech_index(endpoint.tech)];
+    if (owner.grid_gen == position_gen_) continue;
+    owner.grid.insert(endpoint.mac.as_u64(), cached_position(endpoint),
+                      &endpoint);
+  }
+  for (TechState& stale : tech_) stale.grid_gen = position_gen_;
 }
 
 void RadioMedium::set_discoverable(MacAddress mac, Technology tech,
@@ -79,19 +137,25 @@ std::optional<Vec2> RadioMedium::position_of(MacAddress mac,
                                              Technology tech) const {
   const Endpoint* e = find(mac, tech);
   if (e == nullptr) return std::nullopt;
-  return e->mobility->position_at(sim_.now());
+  return cached_position(*e);
 }
 
 double RadioMedium::distance(MacAddress a, MacAddress b,
                              Technology tech) const {
-  const auto pa = position_of(a, tech);
-  const auto pb = position_of(b, tech);
-  if (!pa || !pb) return std::numeric_limits<double>::infinity();
-  return sim::distance(*pa, *pb);
+  const Endpoint* ea = find(a, tech);
+  const Endpoint* eb = find(b, tech);
+  if (ea == nullptr || eb == nullptr) {
+    return std::numeric_limits<double>::infinity();
+  }
+  return sim::distance(cached_position(*ea), cached_position(*eb));
 }
 
 bool RadioMedium::in_range(MacAddress a, MacAddress b, Technology tech) const {
-  return distance(a, b, tech) <= params(tech).range_m;
+  const Endpoint* ea = find(a, tech);
+  const Endpoint* eb = find(b, tech);
+  if (ea == nullptr || eb == nullptr) return false;
+  return within_range(cached_position(*ea), cached_position(*eb),
+                      params(tech).range_m);
 }
 
 int RadioMedium::sample_quality(MacAddress a, MacAddress b, Technology tech) {
@@ -105,30 +169,67 @@ int RadioMedium::expected_quality(MacAddress a, MacAddress b,
   return quality_model_.quality(d, params(tech).range_m, nullptr);
 }
 
+void RadioMedium::collect_in_range(const Endpoint& origin, TechState& ts,
+                                   std::vector<const Endpoint*>& out) const {
+  ensure_grid(ts);
+  const Vec2 at = cached_position(origin);
+  const double range = ts.params.range_m;
+  ts.grid.visit_block(at, [&](const SpatialGrid::Entry& entry) {
+    const auto* e = static_cast<const Endpoint*>(entry.payload);
+    if (e == &origin) return;
+    // entry.position was sampled at the grid's generation == current
+    // generation, so it matches cached_position(*e) exactly.
+    if (within_range(at, entry.position, range)) out.push_back(e);
+  });
+  std::sort(out.begin(), out.end(), [](const Endpoint* a, const Endpoint* b) {
+    return a->mac < b->mac;
+  });
+}
+
 std::vector<MacAddress> RadioMedium::in_range_of(MacAddress mac,
                                                  Technology tech) const {
   std::vector<MacAddress> out;
-  const auto origin = position_of(mac, tech);
-  if (!origin) return out;
+  const Endpoint* origin = find(mac, tech);
+  if (origin == nullptr) return out;
+  std::vector<const Endpoint*> hits;
+  collect_in_range(*origin, state(tech), hits);
+  out.reserve(hits.size());
+  for (const Endpoint* e : hits) out.push_back(e->mac);
+  return out;
+}
+
+std::vector<MacAddress> RadioMedium::in_range_of_brute(MacAddress mac,
+                                                       Technology tech) const {
+  std::vector<MacAddress> out;
+  const Endpoint* origin = find(mac, tech);
+  if (origin == nullptr) return out;
+  const Vec2 at = origin->mobility->position_at(sim_.now());
   const double range = params(tech).range_m;
+  // endpoints_ iterates in ascending (mac, tech) order, so `out` comes back
+  // in ascending MAC order — the same contract as the grid path.
   for (const auto& [k, endpoint] : endpoints_) {
     if (endpoint.tech != tech || endpoint.mac == mac) continue;
     const Vec2 pos = endpoint.mobility->position_at(sim_.now());
-    if (sim::distance(*origin, pos) <= range) out.push_back(endpoint.mac);
+    if (within_range(at, pos, range)) out.push_back(endpoint.mac);
   }
   return out;
 }
 
 std::vector<MacAddress> RadioMedium::discoverable_in_range(
     MacAddress mac, Technology tech) const {
-  const bool asymmetric = params(tech).asymmetric_discovery;
   std::vector<MacAddress> out;
-  for (const MacAddress peer : in_range_of(mac, tech)) {
-    const Endpoint* e = find(peer, tech);
-    if (e == nullptr || !e->discoverable) continue;
+  const Endpoint* origin = find(mac, tech);
+  if (origin == nullptr) return out;
+  TechState& ts = state(tech);
+  const bool asymmetric = ts.params.asymmetric_discovery;
+  std::vector<const Endpoint*> hits;
+  collect_in_range(*origin, ts, hits);
+  out.reserve(hits.size());
+  for (const Endpoint* e : hits) {
+    if (!e->discoverable) continue;
     // Bluetooth asymmetry: a device busy inquiring does not answer inquiries.
     if (asymmetric && e->inquiring) continue;
-    out.push_back(peer);
+    out.push_back(e->mac);
   }
   return out;
 }
@@ -138,7 +239,11 @@ void RadioMedium::send_frame(MacAddress from, MacAddress to, Technology tech,
   ++stats_.frames;
   stats_.frame_bytes += frame.size();
   const TechnologyParams& p = params(tech);
-  if (!in_range(from, to, tech)) {
+  const Endpoint* from_e = find(from, tech);
+  const Endpoint* to_e = find(to, tech);
+  if (from_e == nullptr || to_e == nullptr ||
+      !within_range(cached_position(*from_e), cached_position(*to_e),
+                    p.range_m)) {
     ++stats_.drops;
     return;
   }
@@ -154,12 +259,17 @@ void RadioMedium::send_frame(MacAddress from, MacAddress to, Technology tech,
 
   sim_.schedule_at(
       deliver_at, [this, from, to, tech, frame = std::move(frame)]() {
-        const Endpoint* e = find(to, tech);
-        if (e == nullptr || !in_range(from, to, tech)) {
+        // Positions have moved since send time; one cached re-check decides
+        // delivery (drop if either side is gone or out of coverage).
+        const Endpoint* sender = find(from, tech);
+        const Endpoint* receiver = find(to, tech);
+        if (sender == nullptr || receiver == nullptr ||
+            !within_range(cached_position(*sender),
+                          cached_position(*receiver), params(tech).range_m)) {
           ++stats_.drops;
           return;
         }
-        if (e->handler) e->handler(from, frame);
+        if (receiver->handler) receiver->handler(from, frame);
       });
 }
 

@@ -3,8 +3,26 @@
 // and delivers unicast frames with per-technology latency, bandwidth and
 // in-order guarantees. Everything above (sockets, plugins, daemon) is built
 // on these primitives.
+//
+// Neighbour queries are served by a per-technology uniform spatial grid
+// (cell edge == radio range) instead of a linear scan, and every endpoint's
+// mobility model is sampled at most once per distinct simulation time via a
+// generation-tagged position cache. Complexity per discovery round:
+//
+//            | pre-grid                 | grid + cache
+//   ---------+--------------------------+---------------------------------
+//   in_range_of / discoverable_in_range
+//            | O(N) position_at calls   | O(local density) after one
+//            |   per query -> O(N^2)    |   O(N) rebuild per SimTime
+//   in_range / distance / quality
+//            | 2 position_at per call   | cached, once per SimTime
+//
+// The grid is rebuilt lazily when the clock advances (the Simulator time
+// observer bumps `position_gen_`) and maintained incrementally while time
+// stands still (register/unregister between events).
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <functional>
 #include <map>
@@ -17,6 +35,7 @@
 #include "sim/mobility.hpp"
 #include "sim/radio.hpp"
 #include "sim/simulator.hpp"
+#include "sim/spatial_grid.hpp"
 #include "sim/vec2.hpp"
 
 namespace peerhood::sim {
@@ -35,12 +54,13 @@ class RadioMedium {
       std::function<void(MacAddress from, const Bytes& frame)>;
 
   explicit RadioMedium(Simulator& sim, LinkQualityModel quality_model = {});
+  ~RadioMedium();
 
   RadioMedium(const RadioMedium&) = delete;
   RadioMedium& operator=(const RadioMedium&) = delete;
 
   // Replaces the parameter set for one technology (defaults are installed
-  // for all three at construction).
+  // for all three at construction). Resizes that technology's grid cells.
   void configure(const TechnologyParams& params);
   [[nodiscard]] const TechnologyParams& params(Technology tech) const;
   [[nodiscard]] const LinkQualityModel& quality_model() const {
@@ -75,10 +95,16 @@ class RadioMedium {
   [[nodiscard]] int expected_quality(MacAddress a, MacAddress b,
                                      Technology tech) const;
 
-  // Endpoints (other than `mac`) currently within radio range.
+  // Endpoints (other than `mac`) currently within radio range, in ascending
+  // MAC order (the ordering contract shared with in_range_of_brute).
   [[nodiscard]] std::vector<MacAddress> in_range_of(MacAddress mac,
                                                     Technology tech) const;
-  // As above, but honouring discoverability and the Bluetooth inquiry
+  // Reference linear-scan implementation — one virtual position_at call per
+  // registered endpoint, no grid, no cache. Kept as the oracle for the grid
+  // parity tests and as the baseline for bench_medium_scale.
+  [[nodiscard]] std::vector<MacAddress> in_range_of_brute(
+      MacAddress mac, Technology tech) const;
+  // As in_range_of, but honouring discoverability and the Bluetooth inquiry
   // asymmetry: a device that is itself inquiring does not respond (§3.4.2).
   [[nodiscard]] std::vector<MacAddress> discoverable_in_range(
       MacAddress mac, Technology tech) const;
@@ -101,6 +127,17 @@ class RadioMedium {
     bool discoverable{true};
     bool inquiring{false};
     bool peerhood_tag{true};
+    // Position memoised against position_gen_; recomputed at most once per
+    // distinct SimTime no matter how many queries touch this endpoint.
+    mutable Vec2 cached_position{};
+    mutable std::uint64_t cached_gen{0};
+  };
+
+  struct TechState {
+    TechnologyParams params{};
+    SpatialGrid grid{1.0};
+    // position_gen_ value the grid was built against; 0 = needs rebuild.
+    std::uint64_t grid_gen{0};
   };
 
   using Key = std::pair<std::uint64_t, std::uint8_t>;  // (mac, tech)
@@ -108,14 +145,32 @@ class RadioMedium {
     return {mac.as_u64(), static_cast<std::uint8_t>(tech)};
   }
 
+  [[nodiscard]] static std::size_t tech_index(Technology tech);
+  // Squared-distance range predicate shared by every in-range check (grid,
+  // brute-force oracle, frame delivery) so their results are bit-identical.
+  [[nodiscard]] static bool within_range(Vec2 a, Vec2 b, double range_m);
+
   [[nodiscard]] const Endpoint* find(MacAddress mac, Technology tech) const;
   [[nodiscard]] Endpoint* find(MacAddress mac, Technology tech);
 
+  [[nodiscard]] Vec2 cached_position(const Endpoint& endpoint) const;
+  [[nodiscard]] TechState& state(Technology tech) const;
+  // Rebuilds all stale technology grids (single pass over the endpoints);
+  // no-op when `ts`'s grid is already current.
+  void ensure_grid(TechState& ts) const;
+  // In-range endpoints other than `origin`, ascending MAC order.
+  void collect_in_range(const Endpoint& origin, TechState& ts,
+                        std::vector<const Endpoint*>& out) const;
+
   Simulator& sim_;
+  Simulator::TimeObserverId time_observer_{0};
   LinkQualityModel quality_model_;
   Rng noise_rng_;
   std::map<Key, Endpoint> endpoints_;
-  std::map<std::uint8_t, TechnologyParams> params_;
+  mutable std::array<TechState, kTechnologyCount> tech_;
+  // Bumped by the Simulator time observer whenever the clock advances; every
+  // cached position / grid tagged with an older generation is stale.
+  std::uint64_t position_gen_{1};
   // Last scheduled delivery per directed (from, to, tech) — preserves frame
   // ordering within a direction.
   std::map<std::tuple<std::uint64_t, std::uint64_t, std::uint8_t>, SimTime>

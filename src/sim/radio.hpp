@@ -5,6 +5,7 @@
 // style value with the handover threshold at 230 (§3.4.1, §5.2.1).
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
 #include <string_view>
 
@@ -15,6 +16,10 @@ namespace peerhood {
 
 // The paper's three supported "prototypes" (network technologies).
 enum class Technology : std::uint8_t { kBluetooth = 0, kWlan = 1, kGprs = 2 };
+
+// Number of technologies; Technology values are dense in [0, count) so they
+// can index fixed arrays (per-technology parameters, spatial grids).
+inline constexpr std::size_t kTechnologyCount = 3;
 
 [[nodiscard]] constexpr std::string_view to_string(Technology tech) {
   switch (tech) {

@@ -6,6 +6,7 @@
 
 #include <cstdint>
 #include <functional>
+#include <vector>
 
 #include "common/rng.hpp"
 #include "common/sim_time.hpp"
@@ -22,6 +23,29 @@ class Simulator {
 
   [[nodiscard]] SimTime now() const { return now_; }
 
+  // Time observers fire whenever the virtual clock actually advances (never
+  // for same-time events). The radio medium uses this to invalidate its
+  // position cache and spatial grids exactly once per distinct SimTime.
+  using TimeObserver = std::function<void()>;
+  using TimeObserverId = std::size_t;
+
+  TimeObserverId add_time_observer(TimeObserver observer) {
+    // Reuse a removed slot so repeated register/unregister cycles (e.g. many
+    // scenario media on one simulator) don't grow the observer list.
+    for (TimeObserverId id = 0; id < time_observers_.size(); ++id) {
+      if (time_observers_[id] == nullptr) {
+        time_observers_[id] = std::move(observer);
+        return id;
+      }
+    }
+    time_observers_.push_back(std::move(observer));
+    return time_observers_.size() - 1;
+  }
+
+  void remove_time_observer(TimeObserverId id) {
+    if (id < time_observers_.size()) time_observers_[id] = nullptr;
+  }
+
   EventId schedule_at(SimTime at, std::function<void()> action) {
     return queue_.schedule(at < now_ ? now_ : at, std::move(action));
   }
@@ -36,7 +60,7 @@ class Simulator {
   // advances *before* the event runs so callbacks observe the fire time.
   bool step() {
     if (queue_.empty()) return false;
-    now_ = queue_.next_time();
+    advance_to(queue_.next_time());
     (void)queue_.run_next();
     return true;
   }
@@ -45,10 +69,10 @@ class Simulator {
   // The clock is left at `deadline` (so repeated run_until calls compose).
   void run_until(SimTime deadline) {
     while (!queue_.empty() && queue_.next_time() <= deadline) {
-      now_ = queue_.next_time();
+      advance_to(queue_.next_time());
       (void)queue_.run_next();
     }
-    if (now_ < deadline) now_ = deadline;
+    if (now_ < deadline) advance_to(deadline);
   }
 
   void run_for(SimDuration duration) { run_until(now_ + duration); }
@@ -66,9 +90,18 @@ class Simulator {
   [[nodiscard]] Rng fork_rng() { return rng_.fork(); }
 
  private:
+  void advance_to(SimTime t) {
+    if (t == now_) return;
+    now_ = t;
+    for (const TimeObserver& observer : time_observers_) {
+      if (observer) observer();
+    }
+  }
+
   SimTime now_{};
   EventQueue queue_;
   Rng rng_;
+  std::vector<TimeObserver> time_observers_;
 };
 
 // Repeating task helper (inquiry loops, link monitors, relay polls). The task

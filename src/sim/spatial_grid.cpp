@@ -1,0 +1,61 @@
+#include "sim/spatial_grid.hpp"
+
+#include <cassert>
+#include <cmath>
+
+namespace peerhood::sim {
+
+SpatialGrid::SpatialGrid(double cell_size) { set_cell_size(cell_size); }
+
+void SpatialGrid::set_cell_size(double cell_size) {
+  assert(cell_size > 0.0);
+  cell_ = cell_size;
+  inv_cell_ = 1.0 / cell_size;
+  clear();
+}
+
+void SpatialGrid::clear() {
+  cells_.clear();
+  index_.clear();
+}
+
+bool SpatialGrid::contains(std::uint64_t id) const {
+  return index_.contains(id);
+}
+
+std::int32_t SpatialGrid::cell_coord(double v) const {
+  return static_cast<std::int32_t>(std::floor(v * inv_cell_));
+}
+
+std::uint64_t SpatialGrid::cell_key(std::int32_t cx, std::int32_t cy) {
+  return (static_cast<std::uint64_t>(static_cast<std::uint32_t>(cx)) << 32) |
+         static_cast<std::uint64_t>(static_cast<std::uint32_t>(cy));
+}
+
+void SpatialGrid::insert(std::uint64_t id, Vec2 position,
+                         const void* payload) {
+  remove(id);
+  const std::uint64_t key = cell_key(cell_coord(position.x),
+                                     cell_coord(position.y));
+  cells_[key].push_back(Entry{id, position, payload});
+  index_.emplace(id, key);
+}
+
+bool SpatialGrid::remove(std::uint64_t id) {
+  const auto indexed = index_.find(id);
+  if (indexed == index_.end()) return false;
+  const auto bucket = cells_.find(indexed->second);
+  assert(bucket != cells_.end());
+  std::vector<Entry>& entries = bucket->second;
+  for (std::size_t i = 0; i < entries.size(); ++i) {
+    if (entries[i].id != id) continue;
+    entries[i] = entries.back();
+    entries.pop_back();
+    break;
+  }
+  if (entries.empty()) cells_.erase(bucket);
+  index_.erase(indexed);
+  return true;
+}
+
+}  // namespace peerhood::sim

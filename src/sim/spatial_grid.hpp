@@ -1,0 +1,72 @@
+// Uniform spatial hash grid over 2-D positions, the index behind the radio
+// medium's neighbour queries. The cell edge equals the query radius, so every
+// point within `radius` of a query origin lies inside the 3x3 block of cells
+// centred on the origin's cell — a radius query inspects at most nine buckets
+// instead of every registered entry. Entries carry a caller-owned payload
+// pointer so query results need no further map lookups.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "sim/vec2.hpp"
+
+namespace peerhood::sim {
+
+class SpatialGrid {
+ public:
+  struct Entry {
+    std::uint64_t id{0};
+    Vec2 position{};
+    const void* payload{nullptr};
+  };
+
+  explicit SpatialGrid(double cell_size = 1.0);
+
+  // Changing the cell size invalidates every bucket assignment, so it
+  // implies clear(); the owner rebuilds afterwards.
+  void set_cell_size(double cell_size);
+  [[nodiscard]] double cell_size() const { return cell_; }
+
+  void clear();
+  [[nodiscard]] std::size_t size() const { return index_.size(); }
+  [[nodiscard]] bool contains(std::uint64_t id) const;
+
+  // Inserting an id that is already present replaces its entry (the node may
+  // have been re-registered at a new position).
+  void insert(std::uint64_t id, Vec2 position, const void* payload);
+  // Returns false when the id is not in the grid. Removal does not need the
+  // position: the grid remembers each entry's cell.
+  bool remove(std::uint64_t id);
+
+  // Calls `visit(const Entry&)` for every entry in the 3x3 cell block around
+  // `origin` — a superset of all entries within cell_size() of it. The exact
+  // distance test (and any ordering) stays with the caller. Entries within a
+  // bucket are visited in unspecified order.
+  template <typename Visitor>
+  void visit_block(Vec2 origin, Visitor&& visit) const {
+    const std::int32_t cx = cell_coord(origin.x);
+    const std::int32_t cy = cell_coord(origin.y);
+    for (std::int32_t dx = -1; dx <= 1; ++dx) {
+      for (std::int32_t dy = -1; dy <= 1; ++dy) {
+        const auto it = cells_.find(cell_key(cx + dx, cy + dy));
+        if (it == cells_.end()) continue;
+        for (const Entry& entry : it->second) visit(entry);
+      }
+    }
+  }
+
+ private:
+  [[nodiscard]] std::int32_t cell_coord(double v) const;
+  [[nodiscard]] static std::uint64_t cell_key(std::int32_t cx,
+                                              std::int32_t cy);
+
+  double cell_{1.0};
+  double inv_cell_{1.0};
+  std::unordered_map<std::uint64_t, std::vector<Entry>> cells_;
+  // id -> occupied cell key, for O(1) removal of moved entries.
+  std::unordered_map<std::uint64_t, std::uint64_t> index_;
+};
+
+}  // namespace peerhood::sim

@@ -1,0 +1,256 @@
+#include "sim/spatial_grid.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <memory>
+#include <vector>
+
+#include "sim/medium.hpp"
+
+namespace peerhood::sim {
+namespace {
+
+// --- SpatialGrid in isolation ----------------------------------------------
+
+std::vector<std::uint64_t> block_ids(const SpatialGrid& grid, Vec2 origin) {
+  std::vector<std::uint64_t> ids;
+  grid.visit_block(origin,
+                   [&](const SpatialGrid::Entry& e) { ids.push_back(e.id); });
+  std::sort(ids.begin(), ids.end());
+  return ids;
+}
+
+TEST(SpatialGrid, InsertRemoveContains) {
+  SpatialGrid grid{10.0};
+  EXPECT_EQ(grid.size(), 0u);
+  grid.insert(1, {0.0, 0.0}, nullptr);
+  grid.insert(2, {5.0, 5.0}, nullptr);
+  EXPECT_EQ(grid.size(), 2u);
+  EXPECT_TRUE(grid.contains(1));
+  EXPECT_TRUE(grid.remove(1));
+  EXPECT_FALSE(grid.contains(1));
+  EXPECT_FALSE(grid.remove(1));
+  EXPECT_EQ(grid.size(), 1u);
+  grid.clear();
+  EXPECT_EQ(grid.size(), 0u);
+  EXPECT_FALSE(grid.contains(2));
+}
+
+TEST(SpatialGrid, ReinsertMovesEntry) {
+  SpatialGrid grid{10.0};
+  grid.insert(7, {0.0, 0.0}, nullptr);
+  // Move far away: the old bucket must no longer report the entry.
+  grid.insert(7, {500.0, 500.0}, nullptr);
+  EXPECT_EQ(grid.size(), 1u);
+  EXPECT_TRUE(block_ids(grid, {0.0, 0.0}).empty());
+  EXPECT_EQ(block_ids(grid, {500.0, 500.0}), std::vector<std::uint64_t>{7});
+}
+
+TEST(SpatialGrid, BlockCoversRadiusIncludingNegativeCells) {
+  SpatialGrid grid{10.0};
+  // Points exactly `cell_size` away in every direction, straddling the cell
+  // boundaries around the origin (including negative coordinates).
+  grid.insert(1, {10.0, 0.0}, nullptr);
+  grid.insert(2, {-10.0, 0.0}, nullptr);
+  grid.insert(3, {0.0, 10.0}, nullptr);
+  grid.insert(4, {0.0, -10.0}, nullptr);
+  grid.insert(5, {-7.0, -7.0}, nullptr);
+  grid.insert(6, {35.0, 0.0}, nullptr);  // beyond the 3x3 block
+  const auto ids = block_ids(grid, {0.0, 0.0});
+  EXPECT_EQ(ids, (std::vector<std::uint64_t>{1, 2, 3, 4, 5}));
+}
+
+TEST(SpatialGrid, SetCellSizeClears) {
+  SpatialGrid grid{10.0};
+  grid.insert(1, {0.0, 0.0}, nullptr);
+  grid.set_cell_size(50.0);
+  EXPECT_EQ(grid.size(), 0u);
+  EXPECT_DOUBLE_EQ(grid.cell_size(), 50.0);
+}
+
+// --- Grid-backed medium vs brute-force oracle --------------------------------
+
+class GridParityTest : public ::testing::Test {
+ protected:
+  GridParityTest() : sim_{2024}, medium_{sim_} {}
+
+  MacAddress add(std::uint64_t index,
+                 std::shared_ptr<const MobilityModel> mobility,
+                 Technology tech = Technology::kBluetooth) {
+    const MacAddress mac = MacAddress::from_index(index);
+    medium_.register_endpoint(mac, tech, std::move(mobility), nullptr);
+    macs_[static_cast<std::size_t>(tech)].push_back(mac);
+    return mac;
+  }
+
+  void expect_parity(Technology tech) {
+    for (const MacAddress mac : macs_[static_cast<std::size_t>(tech)]) {
+      EXPECT_EQ(medium_.in_range_of(mac, tech),
+                medium_.in_range_of_brute(mac, tech))
+          << "query origin " << mac.to_string() << " at t="
+          << sim_.now().seconds() << "s";
+    }
+  }
+
+  Simulator sim_;
+  RadioMedium medium_;
+  std::array<std::vector<MacAddress>, kTechnologyCount> macs_;
+};
+
+TEST_F(GridParityTest, RandomizedMovingNodesManySimTimes) {
+  Rng rng = sim_.fork_rng();
+  for (std::uint64_t i = 1; i <= 90; ++i) {
+    const Vec2 start{rng.uniform(-70.0, 70.0), rng.uniform(-70.0, 70.0)};
+    std::shared_ptr<const MobilityModel> model;
+    switch (i % 3) {
+      case 0:
+        model = std::make_shared<StaticPosition>(start);
+        break;
+      case 1:
+        model = std::make_shared<LinearMotion>(
+            start, Vec2{rng.uniform(-2.5, 2.5), rng.uniform(-2.5, 2.5)});
+        break;
+      default: {
+        RandomWaypoint::Config config;
+        config.area_min = {-70.0, -70.0};
+        config.area_max = {70.0, 70.0};
+        model = std::make_shared<RandomWaypoint>(config, start,
+                                                 sim_.fork_rng());
+        break;
+      }
+    }
+    add(i, std::move(model),
+        i % 2 == 0 ? Technology::kWlan : Technology::kBluetooth);
+  }
+  for (int step = 0; step < 20; ++step) {
+    sim_.run_until(sim_.now() + seconds(3.3));
+    expect_parity(Technology::kBluetooth);
+    expect_parity(Technology::kWlan);
+  }
+}
+
+TEST_F(GridParityTest, NodeExactlyAtRangeIsIncluded) {
+  const MacAddress a =
+      add(1, std::make_shared<StaticPosition>(Vec2{0.0, 0.0}));
+  // Bluetooth range is exactly 10 m; boundary nodes in several directions,
+  // including negative coordinates and cell-edge positions.
+  add(2, std::make_shared<StaticPosition>(Vec2{10.0, 0.0}));
+  add(3, std::make_shared<StaticPosition>(Vec2{-10.0, 0.0}));
+  add(4, std::make_shared<StaticPosition>(Vec2{0.0, -10.0}));
+  add(5, std::make_shared<StaticPosition>(Vec2{-6.0, -8.0}));  // dist 10
+  add(6, std::make_shared<StaticPosition>(Vec2{10.001, 0.0}));  // just out
+  const auto neighbours = medium_.in_range_of(a, Technology::kBluetooth);
+  EXPECT_EQ(neighbours.size(), 4u);
+  EXPECT_EQ(neighbours, medium_.in_range_of_brute(a, Technology::kBluetooth));
+  EXPECT_TRUE(medium_.in_range(a, MacAddress::from_index(5),
+                               Technology::kBluetooth));
+  EXPECT_FALSE(medium_.in_range(a, MacAddress::from_index(6),
+                                Technology::kBluetooth));
+}
+
+TEST_F(GridParityTest, NegativeCoordinatesParity) {
+  const MacAddress a =
+      add(1, std::make_shared<StaticPosition>(Vec2{-55.0, -55.0}));
+  add(2, std::make_shared<StaticPosition>(Vec2{-62.0, -55.0}));
+  add(3, std::make_shared<StaticPosition>(Vec2{-55.0, -48.0}));
+  add(4, std::make_shared<StaticPosition>(Vec2{-70.0, -70.0}));
+  const auto neighbours = medium_.in_range_of(a, Technology::kBluetooth);
+  EXPECT_EQ(neighbours.size(), 2u);
+  EXPECT_EQ(neighbours, medium_.in_range_of_brute(a, Technology::kBluetooth));
+}
+
+TEST_F(GridParityTest, RegisterWhileGridCachedSameTick) {
+  const MacAddress a =
+      add(1, std::make_shared<StaticPosition>(Vec2{0.0, 0.0}));
+  add(2, std::make_shared<StaticPosition>(Vec2{5.0, 0.0}));
+  // First query builds the grid for the current sim time.
+  EXPECT_EQ(medium_.in_range_of(a, Technology::kBluetooth).size(), 1u);
+  // Register another neighbour without advancing the clock: the cached grid
+  // must pick it up incrementally.
+  add(3, std::make_shared<StaticPosition>(Vec2{0.0, 5.0}));
+  const auto neighbours = medium_.in_range_of(a, Technology::kBluetooth);
+  EXPECT_EQ(neighbours.size(), 2u);
+  EXPECT_EQ(neighbours, medium_.in_range_of_brute(a, Technology::kBluetooth));
+}
+
+TEST_F(GridParityTest, UnregisterWhileGridCachedSameTick) {
+  const MacAddress a =
+      add(1, std::make_shared<StaticPosition>(Vec2{0.0, 0.0}));
+  const MacAddress b =
+      add(2, std::make_shared<StaticPosition>(Vec2{5.0, 0.0}));
+  add(3, std::make_shared<StaticPosition>(Vec2{0.0, 5.0}));
+  EXPECT_EQ(medium_.in_range_of(a, Technology::kBluetooth).size(), 2u);
+  medium_.unregister_endpoint(b, Technology::kBluetooth);
+  const auto neighbours = medium_.in_range_of(a, Technology::kBluetooth);
+  EXPECT_EQ(neighbours.size(), 1u);
+  EXPECT_EQ(neighbours, medium_.in_range_of_brute(a, Technology::kBluetooth));
+}
+
+TEST_F(GridParityTest, ReRegisterMovesEndpointSameTick) {
+  const MacAddress a =
+      add(1, std::make_shared<StaticPosition>(Vec2{0.0, 0.0}));
+  const MacAddress b =
+      add(2, std::make_shared<StaticPosition>(Vec2{500.0, 0.0}));
+  EXPECT_TRUE(medium_.in_range_of(a, Technology::kBluetooth).empty());
+  // Re-registration teleports b next to a; the cached grid must move it.
+  medium_.register_endpoint(b, Technology::kBluetooth,
+                            std::make_shared<StaticPosition>(Vec2{3.0, 0.0}),
+                            nullptr);
+  const auto neighbours = medium_.in_range_of(a, Technology::kBluetooth);
+  ASSERT_EQ(neighbours.size(), 1u);
+  EXPECT_EQ(neighbours[0], b);
+  EXPECT_EQ(neighbours, medium_.in_range_of_brute(a, Technology::kBluetooth));
+}
+
+TEST_F(GridParityTest, ConfigureNewRangeInvalidatesGrid) {
+  const MacAddress a =
+      add(1, std::make_shared<StaticPosition>(Vec2{0.0, 0.0}));
+  add(2, std::make_shared<StaticPosition>(Vec2{30.0, 0.0}));
+  EXPECT_TRUE(medium_.in_range_of(a, Technology::kBluetooth).empty());
+  TechnologyParams wide = bluetooth_params();
+  wide.range_m = 40.0;
+  medium_.configure(wide);
+  const auto neighbours = medium_.in_range_of(a, Technology::kBluetooth);
+  EXPECT_EQ(neighbours.size(), 1u);
+  EXPECT_EQ(neighbours, medium_.in_range_of_brute(a, Technology::kBluetooth));
+}
+
+TEST_F(GridParityTest, FastMoverCrossesCellsOverTime) {
+  const MacAddress a =
+      add(1, std::make_shared<StaticPosition>(Vec2{0.0, 0.0}));
+  // Starts two cells away, drives straight through a's cell and out again.
+  const MacAddress b = add(
+      2, std::make_shared<LinearMotion>(Vec2{-25.0, 0.0}, Vec2{5.0, 0.0}));
+  bool seen_in_range = false;
+  bool seen_out_after = false;
+  for (int step = 0; step < 12; ++step) {
+    sim_.run_until(sim_.now() + seconds(1.0));
+    const auto neighbours = medium_.in_range_of(a, Technology::kBluetooth);
+    EXPECT_EQ(neighbours,
+              medium_.in_range_of_brute(a, Technology::kBluetooth));
+    const bool in_now =
+        std::find(neighbours.begin(), neighbours.end(), b) != neighbours.end();
+    seen_in_range = seen_in_range || in_now;
+    if (seen_in_range && !in_now) seen_out_after = true;
+  }
+  EXPECT_TRUE(seen_in_range);
+  EXPECT_TRUE(seen_out_after);
+}
+
+TEST_F(GridParityTest, DiscoverableFilteringMatchesAfterTimeAdvance) {
+  const MacAddress a =
+      add(1, std::make_shared<StaticPosition>(Vec2{0.0, 0.0}));
+  const MacAddress b =
+      add(2, std::make_shared<StaticPosition>(Vec2{4.0, 0.0}));
+  add(3, std::make_shared<StaticPosition>(Vec2{0.0, 4.0}));
+  sim_.run_until(sim_.now() + seconds(5.0));
+  medium_.set_discoverable(b, Technology::kBluetooth, false);
+  const auto discoverable =
+      medium_.discoverable_in_range(a, Technology::kBluetooth);
+  ASSERT_EQ(discoverable.size(), 1u);
+  EXPECT_EQ(discoverable[0], MacAddress::from_index(3));
+}
+
+}  // namespace
+}  // namespace peerhood::sim
