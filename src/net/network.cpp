@@ -110,15 +110,16 @@ class SimConnection final : public Connection,
   [[nodiscard]] std::uint64_t id() const override { return pair_->id; }
 
   // --- internal hooks used by SimNetwork -----------------------------------
-  void deliver(const Bytes& payload) {
+  void deliver(Bytes payload) {
     if (!open_) return;
     if (data_handler_) {
-      // Copy first: the handler may replace itself (e.g. the engine's
+      // Copy the handler first: it may replace itself (e.g. the engine's
       // first-frame handshake handler hands the connection to a channel).
       const DataHandler handler = data_handler_;
       handler(payload);
     } else {
-      rx_.push_back(payload);
+      // Undelivered frames are moved, not copied, into the rx queue.
+      rx_.push_back(std::move(payload));
     }
   }
 
@@ -343,7 +344,7 @@ void SimNetwork::on_peer_data(std::uint64_t conn_id, MacAddress receiver,
   const bool to_a = receiver == pair.addr_a.mac;
   auto end = (to_a ? pair.end_a : pair.end_b).lock();
   if (end == nullptr || !end->open()) return;
-  end->deliver(payload);
+  end->deliver(std::move(payload));
 }
 
 void SimNetwork::on_peer_close(std::uint64_t conn_id, MacAddress receiver) {

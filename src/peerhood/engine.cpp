@@ -58,9 +58,14 @@ void Engine::unregister_session(std::uint64_t session_id) {
 ChannelPtr Engine::find_session(std::uint64_t session_id) const {
   const auto it = sessions_.find(session_id);
   if (it == sessions_.end()) return nullptr;
-  ChannelPtr channel = it->second.lock();
-  if (channel == nullptr) sessions_.erase(it);
-  return channel;
+  return it->second.lock();
+}
+
+bool Engine::prune_session(std::uint64_t session_id) {
+  const auto it = sessions_.find(session_id);
+  if (it == sessions_.end() || it->second.lock() != nullptr) return false;
+  sessions_.erase(it);
+  return true;
 }
 
 void Engine::on_accept(net::ConnectionPtr connection) {
@@ -119,6 +124,9 @@ void Engine::handle_handshake(net::ConnectionPtr connection,
       ++stats_.resumes;
       const wire::ConnectRequest& request = handshake->connect;
       ChannelPtr session = find_session(request.session_id);
+      // Expiry is explicit: drop the registry entry of a dead session here
+      // rather than behind a const lookup.
+      if (session == nullptr) (void)prune_session(request.session_id);
       if (session == nullptr || session->service() != request.service) {
         ++stats_.rejected;
         (void)connection->write(wire::encode_fail(

@@ -50,10 +50,17 @@ class Engine {
   void set_bridge_handler(BridgeHandler handler);
 
   // Session registry used by PH_RESUME to substitute connections of live
-  // sessions. Sessions are held weakly: a dropped server channel vanishes.
+  // sessions. Sessions are held weakly: a dropped server channel expires.
   void register_session(const ChannelPtr& channel);
   void unregister_session(std::uint64_t session_id);
+  // Pure lookup — never mutates the registry. Returns nullptr for unknown or
+  // expired sessions; callers that observe expiry erase it explicitly via
+  // prune_session.
   [[nodiscard]] ChannelPtr find_session(std::uint64_t session_id) const;
+  // Erases the entry for `session_id` if its channel has expired; returns
+  // true when an expired entry was removed. Live sessions are left intact.
+  bool prune_session(std::uint64_t session_id);
+  [[nodiscard]] std::size_t session_count() const { return sessions_.size(); }
 
   [[nodiscard]] const Stats& stats() const { return stats_; }
   [[nodiscard]] MacAddress mac() const { return mac_; }
@@ -69,7 +76,7 @@ class Engine {
   BridgeHandler bridge_handler_;
   // Accepted connections awaiting their first (handshake) frame.
   std::map<std::uint64_t, net::ConnectionPtr> pending_;
-  mutable std::map<std::uint64_t, std::weak_ptr<Channel>> sessions_;
+  std::map<std::uint64_t, std::weak_ptr<Channel>> sessions_;
   Stats stats_;
 };
 

@@ -138,7 +138,13 @@ void Plugin::fetch_info(MacAddress target, FetchCallback done) {
       wire::kSectionNeighbours};
   auto step = std::make_shared<std::function<void()>>();
   auto shared_done = std::make_shared<FetchCallback>(std::move(done));
-  *step = [this, target, state, step, shared_done, kOrder, params] {
+  // Ownership of `step` flows through the continuation chain: each section's
+  // callback holds the only strong reference while its request is in flight.
+  // The step function itself captures a weak_ptr — a strong self-capture
+  // would be a shared_ptr cycle that leaks the whole chain (state, callbacks)
+  // once per split fetch, completed or abandoned.
+  std::weak_ptr<std::function<void()>> weak_step = step;
+  *step = [this, target, state, weak_step, shared_done, kOrder, params] {
     if (state->next_section == 4) {
       state->assembled.sections = wire::kSectionAll;
       (*shared_done)(state->assembled);
@@ -147,9 +153,12 @@ void Plugin::fetch_info(MacAddress target, FetchCallback done) {
     const std::uint8_t section =
         kOrder[static_cast<std::size_t>(state->next_section)];
     ++state->next_section;
+    // Always succeeds: whoever invoked *this* function holds a strong ref
+    // for the duration of the call.
+    auto self = weak_step.lock();
     fetch_section(
         target, section, params.fetch_time,
-        [state, step, shared_done](std::optional<wire::FetchResponse> part) {
+        [state, self, shared_done](std::optional<wire::FetchResponse> part) {
           if (!part.has_value()) {
             (*shared_done)(std::nullopt);
             return;
@@ -167,7 +176,7 @@ void Plugin::fetch_info(MacAddress target, FetchCallback done) {
             state->assembled.neighbours = part->neighbours;
           }
           state->assembled.load_percent = part->load_percent;
-          (*step)();
+          (*self)();
         });
   };
   (*step)();

@@ -1,44 +1,315 @@
 #include "sim/event_queue.hpp"
 
+#include <algorithm>
+#include <bit>
 #include <cassert>
-#include <utility>
 
 namespace peerhood::sim {
 
-EventId EventQueue::schedule(SimTime at, std::function<void()> action) {
-  const EventId id = next_id_++;
-  heap_.push(Entry{at, next_seq_++, id});
-  actions_.emplace(id, std::move(action));
+namespace {
+constexpr std::uint64_t kAllOnes = ~std::uint64_t{0};
+}  // namespace
+
+EventQueue::EventQueue()
+    : buckets_(kWheelSize), occupancy_(kWheelWords, 0) {}
+
+std::uint32_t EventQueue::acquire_slot() {
+  if (!free_slots_.empty()) {
+    const std::uint32_t slot = free_slots_.back();
+    free_slots_.pop_back();
+    return slot;
+  }
+  const auto slot = static_cast<std::uint32_t>(slots_.size());
+  slots_.emplace_back();
+  return slot;
+}
+
+void EventQueue::release_slot(std::uint32_t slot) {
+  Slot& s = slots_[slot];
+  if (++s.gen == 0) ++s.gen;  // generation 0 is reserved for kInvalidEvent
+  s.state = SlotState::kIdle;
+  s.next = kNilSlot;
+  free_slots_.push_back(slot);
+}
+
+EventId EventQueue::schedule(SimTime at, InlineCallable action) {
+  const std::uint32_t slot = acquire_slot();
+  Slot& s = slots_[slot];
+  s.action = std::move(action);
+  s.seq = next_seq_++;
+  const EventId id = make_id(s.gen, slot);
+  const std::int64_t delta_us = (at - now_).count();
+  if (delta_us >= 0 && delta_us < static_cast<std::int64_t>(kWheelSize)) {
+    s.state = SlotState::kWheelLive;
+    wheel_append(bucket_of(at.since_epoch.count()), slot);
+  } else {
+    // Past deadlines (delta < 0) also land here; run_next flushes the wheel
+    // if and when the clock actually moves backwards to fire one.
+    s.state = SlotState::kHeapLive;
+    heap_push(Entry{at, s.seq, id});
+  }
   ++live_count_;
   return id;
 }
 
-void EventQueue::cancel(EventId id) {
-  if (actions_.erase(id) > 0) --live_count_;
+void EventQueue::advance_window(SimTime t) {
+  if (t <= now_) return;
+  assert(empty() || next_time() >= t);
+  now_ = t;
 }
 
-void EventQueue::drop_cancelled() const {
-  while (!heap_.empty() && !actions_.contains(heap_.top().id)) {
-    heap_.pop();
+void EventQueue::cancel(EventId id) {
+  const std::uint32_t slot = slot_of(id);
+  if (slot >= slots_.size() || !is_live(id)) return;
+  Slot& s = slots_[slot];
+  s.action.reset();
+  if (s.state == SlotState::kWheelLive) {
+    // Invalidate the id now; the slot itself is recycled when the bucket
+    // chain physically unlinks it (wheel_peek, flush, or reset_stale).
+    s.state = SlotState::kWheelCancelled;
+    if (++s.gen == 0) ++s.gen;
+  } else {
+    release_slot(slot);
+  }
+  if (--live_count_ == 0) reset_stale();
+}
+
+void EventQueue::reset_stale() {
+  // Heap entries' slots were already released when they were cancelled;
+  // dropping the entries is enough.
+  heap_.clear();
+  for (std::size_t sword = 0; sword < kSummaryWords; ++sword) {
+    std::uint64_t sbits = occupancy_summary_[sword];
+    while (sbits != 0) {
+      const std::size_t word =
+          (sword << 6) | std::size_t(std::countr_zero(sbits));
+      sbits &= sbits - 1;
+      std::uint64_t bits = occupancy_[word];
+      while (bits != 0) {
+        const std::size_t bucket =
+            (word << 6) | std::size_t(std::countr_zero(bits));
+        bits &= bits - 1;
+        while (buckets_[bucket].head != kNilSlot) {
+          const std::uint32_t slot = wheel_pop_head(bucket);
+          slots_[slot].state = SlotState::kIdle;
+          free_slots_.push_back(slot);
+        }
+      }
+    }
   }
 }
 
-SimTime EventQueue::next_time() const {
-  drop_cancelled();
+// --- wheel -------------------------------------------------------------------
+
+void EventQueue::occupancy_set(std::size_t bucket) const {
+  const std::size_t word = bucket >> 6;
+  occupancy_[word] |= std::uint64_t{1} << (bucket & 63);
+  occupancy_summary_[word >> 6] |= std::uint64_t{1} << (word & 63);
+}
+
+void EventQueue::occupancy_clear(std::size_t bucket) const {
+  const std::size_t word = bucket >> 6;
+  occupancy_[word] &= ~(std::uint64_t{1} << (bucket & 63));
+  if (occupancy_[word] == 0) {
+    occupancy_summary_[word >> 6] &= ~(std::uint64_t{1} << (word & 63));
+  }
+}
+
+void EventQueue::wheel_append(std::size_t bucket, std::uint32_t slot) {
+  Bucket& b = buckets_[bucket];
+  slots_[slot].next = kNilSlot;
+  if (b.head == kNilSlot) {
+    b.head = b.tail = slot;
+    occupancy_set(bucket);
+  } else {
+    slots_[b.tail].next = slot;
+    b.tail = slot;
+  }
+}
+
+std::uint32_t EventQueue::wheel_pop_head(std::size_t bucket) const {
+  Bucket& b = buckets_[bucket];
+  const std::uint32_t head = b.head;
+  assert(head != kNilSlot);
+  b.head = slots_[head].next;
+  if (b.head == kNilSlot) {
+    b.tail = kNilSlot;
+    occupancy_clear(bucket);
+  }
+  slots_[head].next = kNilSlot;
+  return head;
+}
+
+std::size_t EventQueue::wheel_scan(std::size_t start) const {
+  const std::size_t start_word = start >> 6;
+  const std::uint64_t head_bits =
+      occupancy_[start_word] & (kAllOnes << (start & 63));
+  if (head_bits != 0) {
+    return (start_word << 6) | std::size_t(std::countr_zero(head_bits));
+  }
+  // Walk the summary cyclically; the final iteration re-reads the starting
+  // word in full, covering buckets cyclically "behind" the start position.
+  std::size_t sword = start_word >> 6;
+  const std::size_t sbit = start_word & 63;
+  std::uint64_t sbits =
+      occupancy_summary_[sword] & (sbit == 63 ? 0 : kAllOnes << (sbit + 1));
+  for (std::size_t i = 0; i <= kSummaryWords; ++i) {
+    if (sbits != 0) {
+      const std::size_t word =
+          (sword << 6) | std::size_t(std::countr_zero(sbits));
+      return (word << 6) | std::size_t(std::countr_zero(occupancy_[word]));
+    }
+    sword = (sword + 1) & (kSummaryWords - 1);
+    sbits = occupancy_summary_[sword];
+  }
+  return kNoBucket;
+}
+
+std::size_t EventQueue::wheel_peek() const {
+  const std::size_t start = bucket_of(now_.since_epoch.count());
+  for (;;) {
+    const std::size_t bucket = wheel_scan(start);
+    if (bucket == kNoBucket) return kNoBucket;
+    Bucket& b = buckets_[bucket];
+    while (b.head != kNilSlot &&
+           slots_[b.head].state == SlotState::kWheelCancelled) {
+      const std::uint32_t slot = wheel_pop_head(bucket);
+      // Generation was already bumped at cancel; just recycle the storage.
+      slots_[slot].state = SlotState::kIdle;
+      free_slots_.push_back(slot);
+    }
+    if (b.head != kNilSlot) return bucket;
+    // Bucket held only cancelled events (occupancy got cleared): rescan.
+  }
+}
+
+void EventQueue::flush_wheel_to_heap() {
+  const std::size_t start = bucket_of(now_.since_epoch.count());
+  for (std::size_t sword = 0; sword < kSummaryWords; ++sword) {
+    std::uint64_t sbits = occupancy_summary_[sword];
+    while (sbits != 0) {
+      const std::size_t word =
+          (sword << 6) | std::size_t(std::countr_zero(sbits));
+      sbits &= sbits - 1;
+      std::uint64_t bits = occupancy_[word];
+      while (bits != 0) {
+        const std::size_t bucket =
+            (word << 6) | std::size_t(std::countr_zero(bits));
+        bits &= bits - 1;
+        const SimTime at =
+            now_ + microseconds(static_cast<std::int64_t>(
+                       (bucket - start) & kWheelMask));
+        while (buckets_[bucket].head != kNilSlot) {
+          const std::uint32_t slot = wheel_pop_head(bucket);
+          Slot& s = slots_[slot];
+          if (s.state == SlotState::kWheelCancelled) {
+            s.state = SlotState::kIdle;
+            free_slots_.push_back(slot);
+          } else {
+            s.state = SlotState::kHeapLive;
+            heap_push(Entry{at, s.seq, make_id(s.gen, slot)});
+          }
+        }
+      }
+    }
+  }
+}
+
+// --- far-event heap ----------------------------------------------------------
+
+void EventQueue::heap_push(const Entry& entry) const {
+  heap_.push_back(entry);
+  // Sift up with a hole: shift parents down, write the entry once at the end.
+  std::size_t i = heap_.size() - 1;
+  while (i > 0) {
+    const std::size_t parent = (i - 1) / 4;
+    if (!before(entry, heap_[parent])) break;
+    heap_[i] = heap_[parent];
+    i = parent;
+  }
+  heap_[i] = entry;
+}
+
+void EventQueue::heap_pop_top() const {
   assert(!heap_.empty());
-  return heap_.top().at;
+  const Entry last = heap_.back();
+  heap_.pop_back();
+  if (heap_.empty()) return;
+  // Sift the former tail down from the root, again with a hole.
+  const std::size_t n = heap_.size();
+  std::size_t i = 0;
+  for (;;) {
+    const std::size_t first_child = 4 * i + 1;
+    if (first_child >= n) break;
+    std::size_t best = first_child;
+    const std::size_t end_child = std::min(first_child + 4, n);
+    for (std::size_t c = first_child + 1; c < end_child; ++c) {
+      if (before(heap_[c], heap_[best])) best = c;
+    }
+    if (!before(heap_[best], last)) break;
+    heap_[i] = heap_[best];
+    i = best;
+  }
+  heap_[i] = last;
+}
+
+// --- pop paths ---------------------------------------------------------------
+
+EventQueue::Candidate EventQueue::peek() const {
+  while (!heap_.empty() && !is_live(heap_.front().id)) {
+    heap_pop_top();
+  }
+  const std::size_t bucket = wheel_peek();
+  Candidate c;
+  if (bucket != kNoBucket) {
+    const std::size_t start = bucket_of(now_.since_epoch.count());
+    const SimTime wheel_at =
+        now_ + microseconds(
+                   static_cast<std::int64_t>((bucket - start) & kWheelMask));
+    if (heap_.empty() || wheel_at < heap_.front().at ||
+        (wheel_at == heap_.front().at &&
+         slots_[buckets_[bucket].head].seq < heap_.front().seq)) {
+      c.any = true;
+      c.from_wheel = true;
+      c.at = wheel_at;
+      c.bucket = bucket;
+      return c;
+    }
+  }
+  if (!heap_.empty()) {
+    c.any = true;
+    c.from_wheel = false;
+    c.at = heap_.front().at;
+  }
+  return c;
+}
+
+SimTime EventQueue::next_time() const {
+  const Candidate c = peek();
+  assert(c.any);
+  return c.at;
 }
 
 SimTime EventQueue::run_next() {
-  drop_cancelled();
-  assert(!heap_.empty());
-  const Entry entry = heap_.top();
-  heap_.pop();
-  auto node = actions_.extract(entry.id);
-  assert(!node.empty());
-  --live_count_;
-  node.mapped()();
-  return entry.at;
+  const Candidate c = peek();
+  assert(c.any);
+  std::uint32_t slot;
+  if (c.from_wheel) {
+    slot = wheel_pop_head(c.bucket);
+  } else {
+    slot = slot_of(heap_.front().id);
+    heap_pop_top();
+  }
+  // The clock reached c.at: the wheel window slides forward with it. When a
+  // past-scheduled heap event moves the clock *backwards*, the window base
+  // shifts under any wheel entries scheduled meanwhile — spill them first.
+  if (c.at < now_) flush_wheel_to_heap();
+  now_ = c.at;
+  InlineCallable action = std::move(slots_[slot].action);
+  release_slot(slot);
+  if (--live_count_ == 0) reset_stale();
+  action();
+  return c.at;
 }
 
 }  // namespace peerhood::sim

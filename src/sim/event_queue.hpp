@@ -1,25 +1,57 @@
 // Discrete-event scheduler. Events fire in (time, insertion-order) order;
-// cancellation is O(1) (lazy removal when the event surfaces).
+// cancellation is O(1) (a generation check plus lazy removal).
+//
+// Zero-allocation steady state: event storage is a pooled slot arena — a
+// vector of slots recycled through a free list, each holding the event's
+// InlineCallable (closures ≤ 48 B live inside the slot, no heap traffic).
+// An EventId packs {slot index, slot generation} into a u64, so cancel and
+// the fired/stale checks are a single array index + compare; there is no
+// id → action map at all.
+//
+// The pending set is two-tier, exploiting the shape of simulator traffic:
+//
+//  * Near events — zero-delay deferrals, cascades, per-hop frame latencies
+//    (~30 ms), bumped in-order frame trains — land in a timing wheel of
+//    2^15 one-microsecond buckets (a ~33 ms window). Schedule is an O(1)
+//    FIFO append (events are chained intrusively through their slots) and
+//    fire is an O(1) pop guided by a two-level occupancy bitmap. This is
+//    the hot path: a comparison heap pays its worst case exactly here
+//    (near-now keys sift to the root on push and force full sift-downs on
+//    pop), the wheel pays nothing.
+//  * Far events — keepalive periods, inquiry cycles, connect delays — go to
+//    an implicit 4-ary min-heap (shallower than a binary heap, and the four
+//    children of a node share a cache line), with cancelled entries dropped
+//    lazily when they surface at the top.
+//
+// Ordering across the two tiers stays exact: candidates are compared by
+// (time, global sequence) when both are non-empty. A wheel bucket holds
+// events of a single timestamp (two distinct in-window times can never
+// collide in a bucket, see wheel_peek), so bucket FIFO order is sequence
+// order. Once the arena, free list, heap and wheel have grown to the
+// scenario's high-water mark, schedule/cancel/fire allocate nothing.
 #pragma once
 
 #include <cstdint>
-#include <functional>
-#include <queue>
-#include <unordered_map>
 #include <vector>
 
 #include "common/sim_time.hpp"
+#include "sim/inline_callable.hpp"
 
 namespace peerhood::sim {
 
+// High 32 bits: slot generation (never 0); low 32 bits: slot index.
 using EventId = std::uint64_t;
 inline constexpr EventId kInvalidEvent = 0;
 
 class EventQueue {
  public:
-  EventId schedule(SimTime at, std::function<void()> action);
+  EventQueue();
 
-  // Cancels a pending event. Safe to call on already-fired or invalid ids.
+  EventId schedule(SimTime at, InlineCallable action);
+
+  // Cancels a pending event. Safe to call on already-fired or invalid ids:
+  // firing/cancelling bumps the slot's generation, so a stale id can never
+  // match — even after the slot has been recycled for a newer event.
   void cancel(EventId id);
 
   [[nodiscard]] bool empty() const { return live_count_ == 0; }
@@ -28,28 +60,131 @@ class EventQueue {
   // Time of the earliest pending event; only valid when !empty().
   [[nodiscard]] SimTime next_time() const;
 
-  // Pops and runs the earliest event; returns its scheduled time.
+  // Pops and runs the earliest event; returns its scheduled time. The slot
+  // is released *before* the action runs, so the action may freely schedule
+  // (and even land in the slot it just vacated) or cancel.
   SimTime run_next();
 
+  // Moves the wheel's window base forward to `t` (no-op when t is not ahead
+  // of the last fired time). The Simulator calls this whenever its clock
+  // advances — without it, events scheduled after an idle gap would measure
+  // their delay against a stale base and spill into the far heap even when
+  // they are near-horizon. Precondition: no live event is pending before
+  // `t` (the Simulator only advances past times it has drained).
+  void advance_window(SimTime t);
+
  private:
-  struct Entry {
+  static constexpr std::uint32_t kNilSlot = 0xFFFFFFFF;
+  static constexpr std::size_t kWheelBits = 15;
+  static constexpr std::size_t kWheelSize = std::size_t{1} << kWheelBits;
+  static constexpr std::size_t kWheelMask = kWheelSize - 1;
+  static constexpr std::size_t kWheelWords = kWheelSize / 64;
+  static constexpr std::size_t kSummaryWords = kWheelWords / 64;
+  static constexpr std::size_t kNoBucket = kWheelSize;
+
+  enum class SlotState : std::uint8_t {
+    kIdle,            // free or fired; not in any structure
+    kWheelLive,       // chained in a wheel bucket, pending
+    kWheelCancelled,  // chained in a wheel bucket, cancelled — the slot is
+                      // returned to the pool only when physically unlinked
+    kHeapLive,        // referenced by a live heap entry
+  };
+
+  struct Slot {
+    InlineCallable action;
+    std::uint64_t seq{0};          // insertion order (wheel ordering + flush)
+    std::uint32_t gen{1};
+    std::uint32_t next{kNilSlot};  // intrusive wheel-bucket chain
+    SlotState state{SlotState::kIdle};
+  };
+
+  struct Entry {  // far-event heap entry
     SimTime at;
     std::uint64_t seq;
     EventId id;
-
-    // Min-heap ordering: earlier time first, then insertion order.
-    friend bool operator>(const Entry& a, const Entry& b) {
-      if (a.at != b.at) return a.at > b.at;
-      return a.seq > b.seq;
-    }
   };
 
-  void drop_cancelled() const;
+  struct Bucket {
+    std::uint32_t head{kNilSlot};
+    std::uint32_t tail{kNilSlot};
+  };
 
-  mutable std::priority_queue<Entry, std::vector<Entry>, std::greater<>> heap_;
-  std::unordered_map<EventId, std::function<void()>> actions_;
+  // Next live candidate across both tiers (valid after the call; peeking
+  // physically drains cancelled wheel entries and stale heap tops it meets).
+  struct Candidate {
+    bool any{false};
+    bool from_wheel{false};
+    SimTime at{};
+    std::size_t bucket{kNoBucket};
+  };
+
+  [[nodiscard]] static constexpr std::uint32_t slot_of(EventId id) {
+    return static_cast<std::uint32_t>(id);
+  }
+  [[nodiscard]] static constexpr std::uint32_t gen_of(EventId id) {
+    return static_cast<std::uint32_t>(id >> 32);
+  }
+  [[nodiscard]] static constexpr EventId make_id(std::uint32_t gen,
+                                                 std::uint32_t slot) {
+    return (static_cast<EventId>(gen) << 32) | slot;
+  }
+
+  // Min-heap ordering: earlier time first, then insertion order.
+  [[nodiscard]] static bool before(const Entry& a, const Entry& b) {
+    return a.at < b.at || (a.at == b.at && a.seq < b.seq);
+  }
+
+  // A heap entry is live iff its generation still matches its slot's.
+  [[nodiscard]] bool is_live(EventId id) const {
+    return slots_[slot_of(id)].gen == gen_of(id);
+  }
+
+  [[nodiscard]] std::uint32_t acquire_slot();
+  // Invalidates all outstanding ids for `slot` and returns it to the pool.
+  void release_slot(std::uint32_t slot);
+
+  // --- wheel -----------------------------------------------------------------
+  [[nodiscard]] static std::size_t bucket_of(std::int64_t at_us) {
+    return static_cast<std::size_t>(at_us) & kWheelMask;
+  }
+  void wheel_append(std::size_t bucket, std::uint32_t slot);
+  // Unlinks the bucket head (precondition: non-empty) and returns it.
+  std::uint32_t wheel_pop_head(std::size_t bucket) const;
+  void occupancy_set(std::size_t bucket) const;
+  void occupancy_clear(std::size_t bucket) const;
+  // First occupied bucket at cyclic distance >= 0 from `start`, or kNoBucket.
+  [[nodiscard]] std::size_t wheel_scan(std::size_t start) const;
+  // Nearest bucket with a *live* head, draining cancelled entries met on the
+  // way; kNoBucket when the wheel holds no live event.
+  [[nodiscard]] std::size_t wheel_peek() const;
+  // Scheduling before `now_` (impossible through the Simulator, which clamps
+  // to its clock, but legal on the raw queue) would move the wheel's window
+  // base backwards under its entries; spill them into the heap first.
+  void flush_wheel_to_heap();
+  // Called whenever live_count_ drops to zero: everything still chained or
+  // heaped is cancelled debris, so reclaim it eagerly. Without this, a
+  // cancel-heavy workload that empties the queue would strand cancelled
+  // wheel slots (no pop ever walks their buckets) and grow the arena.
+  void reset_stale();
+
+  // --- far-event heap --------------------------------------------------------
+  void heap_push(const Entry& entry) const;
+  void heap_pop_top() const;
+
+  [[nodiscard]] Candidate peek() const;
+
+  // Mutable: peeking from const next_time() physically drains cancelled
+  // entries (heap tops, wheel bucket chains) and recycles their slots.
+  mutable std::vector<Slot> slots_;
+  mutable std::vector<std::uint32_t> free_slots_;
+  mutable std::vector<Entry> heap_;
+  mutable std::vector<Bucket> buckets_;
+  mutable std::vector<std::uint64_t> occupancy_;          // one bit per bucket
+  mutable std::uint64_t occupancy_summary_[kSummaryWords]{};  // per 64 buckets
+  // Last fired time: the wheel's window base. Wheel entries always lie in
+  // [now_, now_ + kWheelSize) microseconds.
+  SimTime now_{};
   std::uint64_t next_seq_{1};
-  EventId next_id_{1};
   std::size_t live_count_{0};
 };
 

@@ -1,0 +1,126 @@
+// Move-only type-erased `void()` callable with a small-buffer optimisation
+// sized for the simulator's hot-path closures (frame deliveries, periodic
+// ticks, link monitors). Captures up to kInlineSize bytes live inside the
+// object itself — scheduling such an event touches no heap at all — while
+// oversized or over-aligned captures fall back to a single heap allocation,
+// exactly like std::function but with a 3× larger inline buffer and no
+// copyability requirement (so move-only captures such as unique_ptr work).
+#pragma once
+
+#include <cstddef>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+namespace peerhood::sim {
+
+class InlineCallable {
+ public:
+  // Chosen to fit the largest hot-path closure: the radio medium's frame
+  // delivery captures {this, from, to, tech, shared_ptr<const Bytes>} ≈ 40 B.
+  static constexpr std::size_t kInlineSize = 48;
+
+  InlineCallable() = default;
+
+  // Implicit by design: call sites pass lambdas straight to schedule_*.
+  template <typename F>
+    requires(!std::is_same_v<std::remove_cvref_t<F>, InlineCallable> &&
+             std::is_invocable_r_v<void, std::remove_cvref_t<F>&>)
+  InlineCallable(F&& fn) {  // NOLINT(google-explicit-constructor)
+    using Fn = std::remove_cvref_t<F>;
+    if constexpr (fits_inline<Fn>) {
+      ::new (static_cast<void*>(storage_)) Fn(std::forward<F>(fn));
+      ops_ = &InlineModel<Fn>::ops;
+    } else {
+      ::new (static_cast<void*>(storage_)) Fn*(new Fn(std::forward<F>(fn)));
+      ops_ = &HeapModel<Fn>::ops;
+    }
+  }
+
+  InlineCallable(InlineCallable&& other) noexcept {
+    if (other.ops_ != nullptr) {
+      other.ops_->relocate(other.storage_, storage_);
+      ops_ = std::exchange(other.ops_, nullptr);
+    }
+  }
+
+  InlineCallable& operator=(InlineCallable&& other) noexcept {
+    if (this == &other) return *this;
+    reset();
+    if (other.ops_ != nullptr) {
+      other.ops_->relocate(other.storage_, storage_);
+      ops_ = std::exchange(other.ops_, nullptr);
+    }
+    return *this;
+  }
+
+  InlineCallable(const InlineCallable&) = delete;
+  InlineCallable& operator=(const InlineCallable&) = delete;
+
+  ~InlineCallable() { reset(); }
+
+  // Precondition: *this holds a callable (operator bool is true).
+  void operator()() { ops_->invoke(storage_); }
+
+  [[nodiscard]] explicit operator bool() const { return ops_ != nullptr; }
+
+  void reset() {
+    if (ops_ != nullptr) {
+      ops_->destroy(storage_);
+      ops_ = nullptr;
+    }
+  }
+
+  // True when the wrapped callable spilled to the heap (capture larger or
+  // more aligned than the inline buffer). Exposed for the allocation tests.
+  [[nodiscard]] bool heap_allocated() const {
+    return ops_ != nullptr && ops_->heap;
+  }
+
+ private:
+  struct Ops {
+    void (*invoke)(void* target);
+    // Move-constructs dst from src, then destroys src (noexcept: inline
+    // storage is only used for nothrow-move-constructible captures).
+    void (*relocate)(void* src, void* dst) noexcept;
+    void (*destroy)(void* target);
+    bool heap;
+  };
+
+  template <typename Fn>
+  static constexpr bool fits_inline =
+      sizeof(Fn) <= kInlineSize && alignof(Fn) <= alignof(std::max_align_t) &&
+      std::is_nothrow_move_constructible_v<Fn>;
+
+  template <typename Fn>
+  [[nodiscard]] static Fn* as(void* p) {
+    return std::launder(reinterpret_cast<Fn*>(p));
+  }
+
+  template <typename Fn>
+  struct InlineModel {
+    static void invoke(void* target) { (*as<Fn>(target))(); }
+    static void relocate(void* src, void* dst) noexcept {
+      Fn* from = as<Fn>(src);
+      ::new (dst) Fn(std::move(*from));
+      from->~Fn();
+    }
+    static void destroy(void* target) { as<Fn>(target)->~Fn(); }
+    static constexpr Ops ops{&invoke, &relocate, &destroy, /*heap=*/false};
+  };
+
+  template <typename Fn>
+  struct HeapModel {
+    static void invoke(void* target) { (**as<Fn*>(target))(); }
+    static void relocate(void* src, void* dst) noexcept {
+      ::new (dst) Fn*(*as<Fn*>(src));
+    }
+    static void destroy(void* target) { delete *as<Fn*>(target); }
+    static constexpr Ops ops{&invoke, &relocate, &destroy, /*heap=*/true};
+  };
+
+  alignas(std::max_align_t) std::byte storage_[kInlineSize];
+  const Ops* ops_{nullptr};
+};
+
+}  // namespace peerhood::sim

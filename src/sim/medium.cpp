@@ -235,9 +235,10 @@ std::vector<MacAddress> RadioMedium::discoverable_in_range(
 }
 
 void RadioMedium::send_frame(MacAddress from, MacAddress to, Technology tech,
-                             Bytes frame) {
+                             FramePtr frame) {
+  assert(frame != nullptr);
   ++stats_.frames;
-  stats_.frame_bytes += frame.size();
+  stats_.frame_bytes += frame->size();
   const TechnologyParams& p = params(tech);
   const Endpoint* from_e = find(from, tech);
   const Endpoint* to_e = find(to, tech);
@@ -248,7 +249,7 @@ void RadioMedium::send_frame(MacAddress from, MacAddress to, Technology tech,
     return;
   }
   const SimDuration tx_time =
-      seconds(static_cast<double>(frame.size()) / p.bytes_per_second);
+      seconds(static_cast<double>(frame->size()) / p.bytes_per_second);
   SimTime deliver_at = sim_.now() + p.per_hop_latency + tx_time;
 
   const auto dir_key = std::tuple{from.as_u64(), to.as_u64(),
@@ -256,21 +257,37 @@ void RadioMedium::send_frame(MacAddress from, MacAddress to, Technology tech,
   auto& last = last_delivery_[dir_key];
   if (deliver_at <= last) deliver_at = last + microseconds(1);
   last = deliver_at;
+  if (last_delivery_.size() >= last_delivery_sweep_limit_) {
+    age_last_delivery();
+  }
 
-  sim_.schedule_at(
-      deliver_at, [this, from, to, tech, frame = std::move(frame)]() {
-        // Positions have moved since send time; one cached re-check decides
-        // delivery (drop if either side is gone or out of coverage).
-        const Endpoint* sender = find(from, tech);
-        const Endpoint* receiver = find(to, tech);
-        if (sender == nullptr || receiver == nullptr ||
-            !within_range(cached_position(*sender),
-                          cached_position(*receiver), params(tech).range_m)) {
-          ++stats_.drops;
-          return;
-        }
-        if (receiver->handler) receiver->handler(from, frame);
-      });
+  auto deliver = [this, from, to, tech, frame = std::move(frame)]() {
+    // Positions have moved since send time; one cached re-check decides
+    // delivery (drop if either side is gone or out of coverage).
+    const Endpoint* sender = find(from, tech);
+    const Endpoint* receiver = find(to, tech);
+    if (sender == nullptr || receiver == nullptr ||
+        !within_range(cached_position(*sender), cached_position(*receiver),
+                      params(tech).range_m)) {
+      ++stats_.drops;
+      return;
+    }
+    if (receiver->handler) receiver->handler(from, *frame);
+  };
+  // The whole point of the FramePtr scheme: a delivery event must fit the
+  // event queue's inline buffer, so the per-frame hot path never allocates.
+  static_assert(sizeof(deliver) <= InlineCallable::kInlineSize);
+  sim_.schedule_at(deliver_at, std::move(deliver));
+}
+
+void RadioMedium::age_last_delivery() {
+  const SimTime now = sim_.now();
+  // Strict `<`: an entry equal to `now` can still force a bump when a
+  // zero-latency, zero-size frame would otherwise land at the same instant.
+  std::erase_if(last_delivery_,
+                [now](const auto& kv) { return kv.second < now; });
+  last_delivery_sweep_limit_ =
+      std::max(kLastDeliveryMinSweep, last_delivery_.size() * 2);
 }
 
 }  // namespace peerhood::sim

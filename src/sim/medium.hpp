@@ -52,6 +52,10 @@ class RadioMedium {
  public:
   using FrameHandler =
       std::function<void(MacAddress from, const Bytes& frame)>;
+  // Frames travel through the medium as shared immutable buffers: the
+  // payload is allocated once by the sender and every queued delivery event
+  // captures a 16-byte reference, never a copy of the bytes.
+  using FramePtr = std::shared_ptr<const Bytes>;
 
   explicit RadioMedium(Simulator& sim, LinkQualityModel quality_model = {});
   ~RadioMedium();
@@ -113,7 +117,25 @@ class RadioMedium {
   // Unicast, in-order per (from,to,tech) direction. The frame is dropped
   // (stats.drops++) if the peers are out of range at delivery time.
   void send_frame(MacAddress from, MacAddress to, Technology tech,
-                  Bytes frame);
+                  Bytes frame) {
+    send_frame(from, to, tech,
+               std::make_shared<const Bytes>(std::move(frame)));
+  }
+  // Copy-free variant: forwarding the same FramePtr across several hops
+  // (bridging, relays) shares one payload allocation end to end.
+  void send_frame(MacAddress from, MacAddress to, Technology tech,
+                  FramePtr frame);
+
+  // Evicts `last_delivery_` entries whose delivery time has already passed —
+  // they can no longer influence in-order bumping, since every new delivery
+  // lands at or after `now`. Invoked automatically once the map crosses a
+  // high-water mark, so long-running scenarios with many distinct
+  // (from,to,tech) pairs stay bounded; public so tests and long-lived hosts
+  // can force a sweep.
+  void age_last_delivery();
+  [[nodiscard]] std::size_t last_delivery_entries() const {
+    return last_delivery_.size();
+  }
 
   [[nodiscard]] TrafficStats& stats() { return stats_; }
   [[nodiscard]] Simulator& simulator() { return sim_; }
@@ -172,9 +194,12 @@ class RadioMedium {
   // cached position / grid tagged with an older generation is stale.
   std::uint64_t position_gen_{1};
   // Last scheduled delivery per directed (from, to, tech) — preserves frame
-  // ordering within a direction.
+  // ordering within a direction. Aged via age_last_delivery() once it grows
+  // past last_delivery_sweep_limit_.
   std::map<std::tuple<std::uint64_t, std::uint64_t, std::uint8_t>, SimTime>
       last_delivery_;
+  std::size_t last_delivery_sweep_limit_{kLastDeliveryMinSweep};
+  static constexpr std::size_t kLastDeliveryMinSweep = 64;
   TrafficStats stats_;
 };
 

@@ -46,11 +46,13 @@ class Simulator {
     if (id < time_observers_.size()) time_observers_[id] = nullptr;
   }
 
-  EventId schedule_at(SimTime at, std::function<void()> action) {
+  // Actions are InlineCallables: lambdas whose captures fit the inline
+  // buffer schedule with zero heap traffic (see sim/inline_callable.hpp).
+  EventId schedule_at(SimTime at, InlineCallable action) {
     return queue_.schedule(at < now_ ? now_ : at, std::move(action));
   }
 
-  EventId schedule_after(SimDuration delay, std::function<void()> action) {
+  EventId schedule_after(SimDuration delay, InlineCallable action) {
     return queue_.schedule(now_ + delay, std::move(action));
   }
 
@@ -93,6 +95,9 @@ class Simulator {
   void advance_to(SimTime t) {
     if (t == now_) return;
     now_ = t;
+    // Keep the queue's near-horizon window tracking the clock, so events
+    // scheduled after an idle stretch still take the O(1) wheel path.
+    queue_.advance_window(t);
     for (const TimeObserver& observer : time_observers_) {
       if (observer) observer();
     }

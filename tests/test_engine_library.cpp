@@ -156,5 +156,36 @@ TEST_F(EngineLibraryTest, ChannelSendingFlagDefaultsTrue) {
   EXPECT_FALSE(result.value()->sending());
 }
 
+// Regression for the old mutable-erase-in-const find_session: expiry is now
+// explicit. A const lookup never mutates the registry; prune_session removes
+// exactly the expired entry and leaves live and unknown sessions alone.
+TEST(EngineSessionRegistry, ExpiredWeakSessionIsPrunedExplicitly) {
+  sim::Simulator sim{1};
+  sim::RadioMedium medium{sim};
+  net::SimNetwork network{medium};
+  Engine engine{network, MacAddress::from_index(1)};
+
+  auto live =
+      std::make_shared<Channel>(7, "echo", MacAddress::from_index(2), nullptr);
+  auto doomed =
+      std::make_shared<Channel>(8, "echo", MacAddress::from_index(3), nullptr);
+  engine.register_session(live);
+  engine.register_session(doomed);
+  EXPECT_EQ(engine.session_count(), 2u);
+
+  doomed.reset();  // the channel expires; the registry entry goes stale
+  EXPECT_EQ(engine.find_session(8), nullptr);
+  EXPECT_EQ(engine.session_count(), 2u);  // const lookup must not mutate
+
+  EXPECT_FALSE(engine.prune_session(7));   // live session: kept
+  EXPECT_FALSE(engine.prune_session(99));  // unknown id: no-op
+  EXPECT_EQ(engine.session_count(), 2u);
+
+  EXPECT_TRUE(engine.prune_session(8));  // expired entry: removed
+  EXPECT_EQ(engine.session_count(), 1u);
+  EXPECT_FALSE(engine.prune_session(8));
+  EXPECT_NE(engine.find_session(7), nullptr);
+}
+
 }  // namespace
 }  // namespace peerhood
