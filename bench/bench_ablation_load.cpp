@@ -43,12 +43,15 @@ LoadResult run_trial(std::uint64_t seed, bool derating) {
                                   scenario_node(MobilityClass::kStatic));
   (void)idle.name();
 
+  // Sessions live in an explicit registry — handlers must not own their
+  // own channel (see common/handler_slot.hpp).
+  std::vector<ChannelPtr> sessions;
   (void)server.library().register_service(
       ServiceInfo{"echo", "", 0},
-      [](ChannelPtr channel, const wire::ConnectRequest&) {
-        auto keep = channel;
-        channel->set_data_handler([keep](const Bytes& frame) {
-          (void)keep->write(frame);
+      [&sessions](ChannelPtr channel, const wire::ConnectRequest&) {
+        sessions.push_back(channel);
+        channel->set_data_handler([raw = channel.get()](const Bytes& frame) {
+          (void)raw->write(frame);
         });
       });
 

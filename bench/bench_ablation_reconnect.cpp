@@ -39,13 +39,15 @@ ReconnectStats run_trial(std::uint64_t seed, ReconnectMethod method) {
 
   const bool visible = method == ReconnectMethod::kClientService;
   bool client_got_result = false;
+  // Callback sessions live in an explicit registry — handlers must not own
+  // their own channel (see common/handler_slot.hpp).
+  std::vector<ChannelPtr> callback_sessions;
   (void)client.library().register_service(
       ServiceInfo{"client.result", visible ? "client" : kHiddenAttribute, 0},
       [&](ChannelPtr channel, const wire::ConnectRequest&) {
-        auto keep = channel;
-        channel->set_data_handler([&client_got_result, keep](const Bytes&) {
-          client_got_result = true;
-        });
+        callback_sessions.push_back(std::move(channel));
+        callback_sessions.back()->set_data_handler(
+            [&client_got_result](const Bytes&) { client_got_result = true; });
       });
   ChannelPtr server_channel;
   (void)server.library().register_service(

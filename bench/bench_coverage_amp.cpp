@@ -36,12 +36,15 @@ TunnelResult run_tunnel(std::uint64_t seed, int depth, bool paper_radio) {
 
   // The gateway's GPRS uplink service: echoes to model the round trip to
   // the outside network.
+  // Sessions live in an explicit registry — handlers must not own their
+  // own channel (see common/handler_slot.hpp).
+  std::vector<ChannelPtr> sessions;
   (void)gateway.library().register_service(
       ServiceInfo{"gprs.uplink", "gateway", 0},
-      [](ChannelPtr channel, const wire::ConnectRequest&) {
-        auto keep = channel;
-        channel->set_data_handler([keep](const Bytes& frame) {
-          (void)keep->write(frame);
+      [&sessions](ChannelPtr channel, const wire::ConnectRequest&) {
+        sessions.push_back(channel);
+        channel->set_data_handler([raw = channel.get()](const Bytes& frame) {
+          (void)raw->write(frame);
         });
       });
   testbed.run_discovery_rounds(depth + 5);

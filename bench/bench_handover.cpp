@@ -36,11 +36,14 @@ DecayResult run_decay_trial(std::uint64_t seed, bool paper_radio) {
   auto& s = testbed.add_node("s", {4.0, 0.0},
                              scenario_node(MobilityClass::kStatic));
   testbed.add_node("c", {2.0, 3.0}, scenario_node(MobilityClass::kStatic));
+  // Sessions live in an explicit registry — handlers must not own their
+  // own channel (see common/handler_slot.hpp).
+  std::vector<ChannelPtr> sessions;
   (void)s.library().register_service(
       ServiceInfo{"print", "", 0},
-      [](ChannelPtr channel, const wire::ConnectRequest&) {
-        auto keep = channel;
-        channel->set_data_handler([keep](const Bytes&) {});
+      [&sessions](ChannelPtr channel, const wire::ConnectRequest&) {
+        sessions.push_back(std::move(channel));
+        sessions.back()->set_data_handler([](const Bytes&) {});
       });
   testbed.run_discovery_rounds(4);
 
@@ -134,11 +137,12 @@ WalkResult run_walk_trial(std::uint64_t seed, double speed_mps,
                {16.0, 0.0}},
           }),
       scenario_node(MobilityClass::kDynamic));
+  std::vector<ChannelPtr> sessions;
   (void)server.library().register_service(
       ServiceInfo{"print", "", 0},
-      [](ChannelPtr channel, const wire::ConnectRequest&) {
-        auto keep = channel;
-        channel->set_data_handler([keep](const Bytes&) {});
+      [&sessions](ChannelPtr channel, const wire::ConnectRequest&) {
+        sessions.push_back(std::move(channel));
+        sessions.back()->set_data_handler([](const Bytes&) {});
       });
   testbed.run_discovery_rounds(4);
 

@@ -41,13 +41,15 @@ TrialResult run_trial(std::uint64_t seed, bool static_bridge) {
   }
 
   int received = 0;
+  // Sessions live in an explicit registry — handlers must not own their
+  // own channel (see common/handler_slot.hpp).
+  std::vector<ChannelPtr> sessions;
   (void)server.library().register_service(
       ServiceInfo{"echo", "", 0},
-      [&received](ChannelPtr channel, const wire::ConnectRequest&) {
-        auto keep = channel;
-        channel->set_data_handler([&received, keep](const Bytes&) {
-          ++received;
-        });
+      [&received, &sessions](ChannelPtr channel, const wire::ConnectRequest&) {
+        sessions.push_back(std::move(channel));
+        sessions.back()->set_data_handler(
+            [&received](const Bytes&) { ++received; });
       });
   testbed.run_discovery_rounds(4);
 

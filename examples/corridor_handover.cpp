@@ -36,13 +36,16 @@ int main() {
       mobile);
 
   int printed = 0;
+  // Accepted print sessions live in an explicit registry: a handler owning
+  // its own channel would be an unbreakable cycle (common/handler_slot.hpp).
+  std::vector<ChannelPtr> print_sessions;
   (void)server.library().register_service(
       ServiceInfo{"print", "demo", 0},
-      [&printed](ChannelPtr channel, const wire::ConnectRequest&) {
-        auto keep = channel;
-        channel->set_data_handler([&printed, keep](const Bytes&) {
-          ++printed;
-        });
+      [&printed, &print_sessions](ChannelPtr channel,
+                                  const wire::ConnectRequest&) {
+        print_sessions.push_back(std::move(channel));
+        print_sessions.back()->set_data_handler(
+            [&printed](const Bytes&) { ++printed; });
       });
   testbed.run_discovery_rounds(3);
 

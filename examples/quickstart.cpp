@@ -21,15 +21,19 @@ int main() {
   auto& pc = testbed.add_node("pc", {5.0, 0.0}, fixed);
   auto& phone = testbed.add_node("phone", {0.0, 0.0}, mobile);
 
-  // The PC registers an echo service through the PeerHood library.
+  // The PC registers an echo service through the PeerHood library. Accepted
+  // sessions go into an explicit registry: a handler owning its own channel
+  // would be an unbreakable reference cycle (see common/handler_slot.hpp).
+  std::vector<ChannelPtr> pc_sessions;
   (void)pc.library().register_service(
       ServiceInfo{"echo", "demo", 0},
-      [](ChannelPtr channel, const wire::ConnectRequest& request) {
+      [&pc_sessions](ChannelPtr channel, const wire::ConnectRequest& request) {
         std::printf("[pc]    accepted session %llu for '%s'\n",
                     static_cast<unsigned long long>(request.session_id),
                     request.service.c_str());
-        channel->set_data_handler([channel](const Bytes& frame) {
-          (void)channel->write(frame);  // echo back
+        pc_sessions.push_back(channel);
+        channel->set_data_handler([raw = channel.get()](const Bytes& frame) {
+          (void)raw->write(frame);  // echo back
         });
       });
 

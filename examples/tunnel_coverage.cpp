@@ -33,14 +33,18 @@ int main() {
   mobile.daemon.service_check_interval = seconds(5.0);
   auto& phone = testbed.add_node("phone", {30.0, 0.0}, mobile);
 
-  // The gateway's uplink service answers "web requests".
+  // The gateway's uplink service answers "web requests". Accepted sessions
+  // go into an explicit registry: a handler owning its own channel would be
+  // an unbreakable reference cycle (see common/handler_slot.hpp).
+  std::vector<ChannelPtr> gateway_sessions;
   (void)gateway.library().register_service(
       ServiceInfo{"gprs.uplink", "gateway", 0},
-      [](ChannelPtr channel, const wire::ConnectRequest&) {
-        channel->set_data_handler([channel](const Bytes& request) {
+      [&gateway_sessions](ChannelPtr channel, const wire::ConnectRequest&) {
+        gateway_sessions.push_back(channel);
+        channel->set_data_handler([raw = channel.get()](const Bytes& request) {
           Bytes response = request;
           response.push_back(0x4B);  // 'K' — request acknowledged
-          (void)channel->write(response);
+          (void)raw->write(response);
         });
       });
 

@@ -4,6 +4,7 @@
 #include <cassert>
 
 #include "common/log.hpp"
+#include "peerhood/dial.hpp"
 
 namespace peerhood::bridge {
 
@@ -91,16 +92,16 @@ void BridgeService::establish_downstream(net::ConnectionPtr upstream,
     forward_frame = wire::encode_bridge(request);
   }
 
-  // Reuse the library's dial helper semantics via a fresh connection: the
-  // downstream handshake acknowledgement decides the upstream answer.
-  struct DialCtx {
-    bool done{false};
-    sim::EventId timer{sim::kInvalidEvent};
-  };
-  auto ctx = std::make_shared<DialCtx>();
-  sim::Simulator* simp = &daemon_.simulator();
-  auto retry_or_fail = [this, upstream, request, attempts_left](
-                           const Error& error) {
+  // The downstream chaining is exactly a dial: connect, forward the bridge
+  // frame, await the chain acknowledgement. Every completion below captures
+  // `this`; the token turns a late resolution (after stop()/destruction)
+  // into a polite teardown of both ends.
+  auto retry_or_fail = [this, token = sentinel_.token(), upstream, request,
+                        attempts_left](const Error& error) {
+    if (token.expired()) {
+      upstream->close();
+      return;
+    }
     if (attempts_left > 1 && running_) {
       ++stats_.retries;
       establish_downstream(upstream, request, attempts_left - 1);
@@ -111,65 +112,26 @@ void BridgeService::establish_downstream(net::ConnectionPtr upstream,
     upstream->close();
   };
 
-  ctx->timer = simp->schedule_after(config_.downstream_timeout,
-                                    [ctx, retry_or_fail] {
-                                      if (ctx->done) return;
-                                      ctx->done = true;
-                                      retry_or_fail(Error{
-                                          ErrorCode::kTimeout,
-                                          "downstream acknowledgement timeout"});
-                                    });
-
-  daemon_.network().connect(
-      daemon_.mac(), hop,
-      [this, ctx, simp, upstream, retry_or_fail,
-       forward_frame](Result<net::ConnectionPtr> result) mutable {
-        if (ctx->done) {
-          if (result.ok()) result.value()->close();
-          return;
-        }
+  dial_with_ack(
+      daemon_.network(), daemon_.mac(), hop, std::move(forward_frame),
+      config_.downstream_timeout,
+      [this, token = sentinel_.token(), upstream,
+       retry_or_fail](Result<net::ConnectionPtr> result) {
         if (!result.ok()) {
-          ctx->done = true;
-          simp->cancel(ctx->timer);
           retry_or_fail(result.error());
           return;
         }
         net::ConnectionPtr downstream = std::move(result).value();
-        (void)downstream->write(forward_frame);
-        downstream->set_close_handler([ctx, simp, retry_or_fail] {
-          if (ctx->done) return;
-          ctx->done = true;
-          simp->cancel(ctx->timer);
-          retry_or_fail(Error{ErrorCode::kConnectionClosed,
-                              "downstream closed before acknowledgement"});
-        });
-        downstream->set_data_handler(
-            [this, ctx, simp, upstream, downstream,
-             retry_or_fail](const Bytes& frame) {
-              if (ctx->done) return;
-              ctx->done = true;
-              simp->cancel(ctx->timer);
-              downstream->set_close_handler(nullptr);
-              downstream->set_data_handler(nullptr);
-              const auto ack = wire::decode_handshake(frame);
-              if (!ack.has_value() ||
-                  (ack->command != wire::Command::kOk &&
-                   ack->command != wire::Command::kFail)) {
-                downstream->close();
-                retry_or_fail(
-                    Error{ErrorCode::kProtocolError, "bad downstream ack"});
-                return;
-              }
-              if (ack->command == wire::Command::kFail) {
-                downstream->close();
-                retry_or_fail(Error{ack->fail.code, ack->fail.message});
-                return;
-              }
-              // Chain is up: acknowledge upstream and start relaying.
-              (void)upstream->write(wire::encode_ok());
-              ++stats_.established;
-              pair_up(upstream, downstream);
-            });
+        if (token.expired()) {
+          // Chain came up just as the bridge died: tear it down.
+          downstream->close();
+          upstream->close();
+          return;
+        }
+        // Chain is up: acknowledge upstream and start relaying.
+        (void)upstream->write(wire::encode_ok());
+        ++stats_.established;
+        pair_up(upstream, std::move(downstream));
       });
 }
 
@@ -182,13 +144,20 @@ void BridgeService::pair_up(net::ConnectionPtr upstream,
 
   auto relay = [this](const net::ConnectionPtr& from,
                       const net::ConnectionPtr& to) {
-    from->set_data_handler([this, to](const Bytes& frame) {
-      ++stats_.relayed_frames;
-      stats_.relayed_bytes += frame.size();
-      // "Every traffic data it receives will be sent directly to the
-      // destination" — the bridge does not interpret the payload.
-      (void)to->write(frame);
-    });
+    // The partner is captured weakly: `connections_` holds the only strong
+    // references, so a relayed pair never keeps itself alive through its
+    // own handlers (the upstream↔downstream handler cycle of old).
+    from->set_data_handler(
+        [this, partner = std::weak_ptr<net::Connection>{to}](
+            const Bytes& frame) {
+          const auto to = partner.lock();
+          if (to == nullptr) return;  // pair already torn down
+          ++stats_.relayed_frames;
+          stats_.relayed_bytes += frame.size();
+          // "Every traffic data it receives will be sent directly to the
+          // destination" — the bridge does not interpret the payload.
+          (void)to->write(frame);
+        });
     from->set_close_handler([this, id = from->id()] { unpair(id); });
   };
   relay(upstream, downstream);

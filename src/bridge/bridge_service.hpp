@@ -15,6 +15,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "common/handler_slot.hpp"
 #include "peerhood/daemon.hpp"
 #include "peerhood/library.hpp"
 
@@ -75,6 +76,9 @@ class BridgeService {
   std::vector<net::ConnectionPtr> connections_;
   Stats stats_;
   bool running_{false};
+  // Guards the in-flight downstream dials (their completions capture `this`
+  // and may resolve after this service stopped or was destroyed).
+  DestructionSentinel sentinel_;
 };
 
 }  // namespace peerhood::bridge

@@ -28,15 +28,20 @@ std::optional<MacAddress> HandoverController::planned_bridge() const {
 }
 
 void HandoverController::set_event_handler(EventHandler handler) {
-  event_handler_ = std::move(handler);
+  event_slot_.set(std::move(handler));
 }
 
 void HandoverController::set_permission_callback(PermissionCallback callback) {
   permission_ = std::move(callback);
 }
 
-void HandoverController::emit(HandoverEvent event) {
-  if (event_handler_) event_handler_(event);
+bool HandoverController::emit(const HandoverEvent& event) {
+  const DestructionSentinel::Token alive = sentinel_.token();
+  // Copy-before-call (inside the slot): the handler may stop() this
+  // controller, replace itself via set_event_handler, or destroy the
+  // controller outright.
+  event_slot_.invoke(event);
+  return !alive.expired();
 }
 
 void HandoverController::refresh_plan() {
@@ -87,9 +92,13 @@ void HandoverController::tick() {
     // The link died before (or despite) soft handover.
     if (!channel_->sending()) {
       ++stats_.suppressed;
-      emit(HandoverEvent{HandoverEvent::Kind::kRepairSuppressed, {}, nullptr,
-                         "connection lost while idle (result routing mode)"});
       state_ = HandoverState::kDone;
+      if (!emit(HandoverEvent{HandoverEvent::Kind::kRepairSuppressed, {},
+                              nullptr,
+                              "connection lost while idle (result routing "
+                              "mode)"})) {
+        return;  // handler destroyed the controller
+      }
       stop();
       return;
     }
@@ -106,9 +115,11 @@ void HandoverController::tick() {
   }
   if (low_count_ > config_.low_count_limit) {
     ++stats_.degradations;
-    emit(HandoverEvent{HandoverEvent::Kind::kDegradationDetected, {}, nullptr,
-                       "link quality below threshold"});
     low_count_ = 0;
+    if (!emit(HandoverEvent{HandoverEvent::Kind::kDegradationDetected, {},
+                            nullptr, "link quality below threshold"})) {
+      return;  // handler destroyed the controller
+    }
     execute();
   }
 }
@@ -118,9 +129,9 @@ void HandoverController::execute() {
     // §5.3: the application finished sending; repair would be wasted work —
     // the server will route the result back itself.
     ++stats_.suppressed;
-    emit(HandoverEvent{HandoverEvent::Kind::kRepairSuppressed, {}, nullptr,
-                       "sending flag cleared"});
-    return;
+    (void)emit(HandoverEvent{HandoverEvent::Kind::kRepairSuppressed, {},
+                             nullptr, "sending flag cleared"});
+    return;  // nothing below touches members — destruction-safe either way
   }
   state_ = HandoverState::kExecute;
   busy_ = true;
@@ -131,8 +142,10 @@ void HandoverController::execute() {
   } else {
     busy_ = false;
     state_ = HandoverState::kFailed;
-    emit(HandoverEvent{HandoverEvent::Kind::kGaveUp, {}, nullptr,
-                       "no routing plan and reconnection disabled"});
+    if (!emit(HandoverEvent{HandoverEvent::Kind::kGaveUp, {}, nullptr,
+                            "no routing plan and reconnection disabled"})) {
+      return;  // handler destroyed the controller
+    }
     stop();
   }
 }
@@ -156,18 +169,24 @@ void HandoverController::attempt_route(std::size_t candidate_index) {
   ++stats_.route_attempts;
   library_.resume_via_bridge(
       bridge, channel_,
-      [this, bridge, candidate_index](Status status) {
+      [this, token = sentinel_.token(), bridge,
+       candidate_index](Status status) {
+        // The resume may resolve long after this controller died.
+        if (token.expired()) return;
         if (status.ok()) {
           ++stats_.handovers;
           busy_ = false;
           low_count_ = 0;
           state_ = HandoverState::kMonitor;
-          emit(HandoverEvent{HandoverEvent::Kind::kHandoverComplete, bridge,
-                             nullptr, "rerouted via " + bridge.to_string()});
+          (void)emit(HandoverEvent{HandoverEvent::Kind::kHandoverComplete,
+                                   bridge, nullptr,
+                                   "rerouted via " + bridge.to_string()});
           return;
         }
-        emit(HandoverEvent{HandoverEvent::Kind::kHandoverFailed, bridge,
-                           nullptr, status.error().to_string()});
+        if (!emit(HandoverEvent{HandoverEvent::Kind::kHandoverFailed, bridge,
+                                nullptr, status.error().to_string()})) {
+          return;  // handler destroyed the controller
+        }
         attempt_route(candidate_index + 1);
       },
       config_.resume_timeout);
@@ -176,12 +195,17 @@ void HandoverController::attempt_route(std::size_t candidate_index) {
 void HandoverController::start_reconnection() {
   state_ = HandoverState::kReconnecting;
   // §5.2.2: ask the user before restarting the task on another provider.
-  auto proceed = [this](bool granted) {
+  // The grant may arrive asynchronously, long after this controller died —
+  // hence the sentinel token.
+  auto proceed = [this, token = sentinel_.token()](bool granted) {
+    if (token.expired()) return;
     if (!granted) {
       busy_ = false;
       state_ = HandoverState::kFailed;
-      emit(HandoverEvent{HandoverEvent::Kind::kGaveUp, {}, nullptr,
-                         "user declined reconnection"});
+      if (!emit(HandoverEvent{HandoverEvent::Kind::kGaveUp, {}, nullptr,
+                              "user declined reconnection"})) {
+        return;  // handler destroyed the controller
+      }
       stop();
       return;
     }
@@ -194,20 +218,26 @@ void HandoverController::start_reconnection() {
     if (it == providers.end()) {
       busy_ = false;
       state_ = HandoverState::kFailed;
-      emit(HandoverEvent{HandoverEvent::Kind::kGaveUp, {}, nullptr,
-                         "no alternative provider of " + channel_->service()});
+      if (!emit(HandoverEvent{
+              HandoverEvent::Kind::kGaveUp, {}, nullptr,
+              "no alternative provider of " + channel_->service()})) {
+        return;  // handler destroyed the controller
+      }
       stop();
       return;
     }
     Library::ConnectOptions options;
     library_.connect(
         it->device.mac, channel_->service(), options,
-        [this](Result<ChannelPtr> result) {
+        [this, token](Result<ChannelPtr> result) {
+          if (token.expired()) return;
           busy_ = false;
           if (!result.ok()) {
             state_ = HandoverState::kFailed;
-            emit(HandoverEvent{HandoverEvent::Kind::kGaveUp, {}, nullptr,
-                               result.error().to_string()});
+            if (!emit(HandoverEvent{HandoverEvent::Kind::kGaveUp, {}, nullptr,
+                                    result.error().to_string()})) {
+              return;  // handler destroyed the controller
+            }
             stop();
             return;
           }
@@ -215,14 +245,18 @@ void HandoverController::start_reconnection() {
           state_ = HandoverState::kDone;
           // A reconnection is a *new* session: the task restarts (§5.2.2
           // "the process is identical to a completely new connection").
-          emit(HandoverEvent{HandoverEvent::Kind::kReconnected, {},
-                             std::move(result).value(),
-                             "reconnected to another provider"});
+          if (!emit(HandoverEvent{HandoverEvent::Kind::kReconnected, {},
+                                  std::move(result).value(),
+                                  "reconnected to another provider"})) {
+            return;  // handler destroyed the controller
+          }
           stop();
         });
   };
+  // Copy before calling: the permission callback may replace itself.
   if (permission_) {
-    permission_(proceed);
+    const PermissionCallback ask = permission_;
+    ask(std::move(proceed));
   } else {
     proceed(true);
   }

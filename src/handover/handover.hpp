@@ -22,6 +22,7 @@
 #include <string>
 #include <vector>
 
+#include "common/handler_slot.hpp"
 #include "peerhood/library.hpp"
 #include "sim/simulator.hpp"
 
@@ -110,7 +111,10 @@ class HandoverController {
     int score{0};  // weakest link of self->bridge->peer
   };
 
-  void emit(HandoverEvent event);
+  // Dispatches the event with copy-before-call discipline. Returns false
+  // when the callback destroyed this controller — the caller must then
+  // return immediately without touching any member.
+  bool emit(const HandoverEvent& event);
   void execute();
   void attempt_route(std::size_t candidate_index);
   void start_reconnection();
@@ -122,10 +126,13 @@ class HandoverController {
   HandoverState state_{HandoverState::kPrepare};
   int low_count_{0};
   std::vector<RouteCandidate> plan_;
-  EventHandler event_handler_;
+  HandlerSlot<void(const HandoverEvent&)> event_slot_;
   PermissionCallback permission_;
   Stats stats_;
   bool busy_{false};
+  // Guards the in-flight resume/reconnect callbacks (they capture `this`
+  // and may resolve after this controller is destroyed).
+  DestructionSentinel sentinel_;
 };
 
 }  // namespace peerhood::handover

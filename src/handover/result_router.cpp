@@ -1,6 +1,7 @@
 #include "handover/result_router.hpp"
 
 #include <algorithm>
+#include <utility>
 
 namespace peerhood::handover {
 
@@ -18,9 +19,19 @@ void ResultRouter::deliver(const ChannelPtr& channel, Bytes result,
                      config_.max_attempts);
 }
 
-void ResultRouter::reconnect_and_send(const ChannelPtr& channel, Bytes result,
+void ResultRouter::reconnect_and_send(std::weak_ptr<Channel> weak_channel,
+                                      Bytes result,
                                       std::function<void(Status)> done,
                                       int attempts_left) {
+  const ChannelPtr channel = weak_channel.lock();
+  if (channel == nullptr || channel->closed()) {
+    // The session was released or retired while we waited for discovery:
+    // there is nobody left to deliver to.
+    ++stats_.failures;
+    done(Status{ErrorCode::kConnectionClosed,
+                "client session released before result delivery"});
+    return;
+  }
   if (attempts_left <= 0) {
     ++stats_.failures;
     done(Status{ErrorCode::kConnectionFailed,
@@ -55,11 +66,16 @@ void ResultRouter::reconnect_and_send(const ChannelPtr& channel, Bytes result,
     }
   }
 
-  auto retry = [this, channel, done](Bytes payload, int remaining) {
+  // Both the retry event and the connect completion capture `this`; the
+  // token lets them resolve harmlessly after this router is destroyed.
+  auto retry = [this, token = sentinel_.token(), weak_channel,
+                done](Bytes payload, int remaining) {
     library_.daemon().simulator().schedule_after(
         config_.retry_delay,
-        [this, channel, payload = std::move(payload), done, remaining] {
-          reconnect_and_send(channel, payload, done, remaining);
+        [this, token, weak_channel, payload = std::move(payload), done,
+         remaining] {
+          if (token.expired()) return;
+          reconnect_and_send(weak_channel, payload, done, remaining);
         });
   };
 
@@ -75,8 +91,10 @@ void ResultRouter::reconnect_and_send(const ChannelPtr& channel, Bytes result,
       config_.method == ReconnectMethod::kClientParams;
   library_.connect(
       target, service, options,
-      [this, channel, result = std::move(result), done = std::move(done),
-       retry, attempts_left](Result<ChannelPtr> connected) mutable {
+      [this, token = sentinel_.token(), result = std::move(result),
+       done = std::move(done), retry,
+       attempts_left](Result<ChannelPtr> connected) mutable {
+        if (token.expired()) return;
         if (!connected.ok()) {
           retry(std::move(result), attempts_left - 1);
           return;

@@ -16,7 +16,9 @@
 
 #include <cstdint>
 #include <functional>
+#include <memory>
 
+#include "common/handler_slot.hpp"
 #include "peerhood/library.hpp"
 #include "sim/simulator.hpp"
 
@@ -59,12 +61,16 @@ class ResultRouter {
   [[nodiscard]] const ResultRouterConfig& config() const { return config_; }
 
  private:
-  void reconnect_and_send(const ChannelPtr& channel, Bytes result,
+  // The retry chain holds the session weakly: a client that released its
+  // channel must not be kept alive by a pending delivery, and a destroyed
+  // router (token expired) silently abandons its in-flight attempts.
+  void reconnect_and_send(std::weak_ptr<Channel> channel, Bytes result,
                           std::function<void(Status)> done, int attempts_left);
 
   Library& library_;
   ResultRouterConfig config_;
   Stats stats_;
+  DestructionSentinel sentinel_;
 };
 
 }  // namespace peerhood::handover

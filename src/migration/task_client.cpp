@@ -15,6 +15,19 @@ TaskClient::~TaskClient() {
   sim::Simulator& sim = library_.daemon().simulator();
   sim.cancel(result_timer_);
   sim.cancel(send_timer_);
+  if (handover_ != nullptr) handover_->stop();
+  // Destroying the client mid-migration: the engine-registered service
+  // handler and the channel handlers all capture `this` — sever them so a
+  // still-running scenario cannot call into a dead client.
+  if (!outcome_.has_value()) {
+    library_.unregister_service(config_.reconnect_service);
+  }
+  for (const ChannelPtr& channel : {channel_, reconnect_channel_}) {
+    if (channel != nullptr) {
+      channel->set_data_handler(nullptr);
+      channel->set_close_handler(nullptr);
+    }
+  }
 }
 
 void TaskClient::run(DoneCallback done) {
@@ -56,7 +69,9 @@ void TaskClient::try_connect(int attempts_left) {
   options.reconnect_service = config_.reconnect_service;
   options.timeout = config_.connect_timeout;
   library_.connect(server_, service_, options,
-                   [this, attempts_left](Result<ChannelPtr> result) {
+                   [this, token = sentinel_.token(),
+                    attempts_left](Result<ChannelPtr> result) {
+                     if (token.expired()) return;
                      if (result.ok()) {
                        on_connected(std::move(result).value());
                        return;

@@ -10,6 +10,7 @@
 #include <optional>
 #include <string>
 
+#include "common/handler_slot.hpp"
 #include "handover/handover.hpp"
 #include "handover/result_router.hpp"
 #include "migration/task.hpp"
@@ -96,6 +97,9 @@ class TaskClient {
   bool upload_finished_{false};
   sim::EventId result_timer_{sim::kInvalidEvent};
   sim::EventId send_timer_{sim::kInvalidEvent};
+  // Guards the in-flight connect attempts (their completions capture `this`
+  // and may resolve after this client is destroyed mid-migration).
+  DestructionSentinel sentinel_;
 };
 
 }  // namespace peerhood::migration

@@ -27,6 +27,12 @@ void TaskServer::stop() {
   library_.unregister_service(config_.service_name);
   for (auto& [id, session] : sessions_) {
     library_.daemon().simulator().cancel(session.timeout);
+    // The channel handlers capture `this`; sever them in case something
+    // else (the engine's session table, a test) still reaches the channel.
+    if (session.channel != nullptr) {
+      session.channel->set_data_handler(nullptr);
+      session.channel->set_handover_handler(nullptr);
+    }
   }
   sessions_.clear();
 }
@@ -112,7 +118,10 @@ void TaskServer::begin_processing(std::uint64_t session_id) {
       session.spec.per_package_processing *
       static_cast<std::int64_t>(session.spec.package_count);
   library_.daemon().simulator().schedule_after(
-      processing_time, [this, session_id] { finish_session(session_id); });
+      processing_time, [this, token = sentinel_.token(), session_id] {
+        if (token.expired()) return;
+        finish_session(session_id);
+      });
 }
 
 void TaskServer::finish_session(std::uint64_t session_id) {
@@ -126,7 +135,9 @@ void TaskServer::finish_session(std::uint64_t session_id) {
   result.packages_processed = session.spec.package_count;
 
   router_.deliver(session.channel, encode(result),
-                  [this, session_id, was_open](Status status) {
+                  [this, token = sentinel_.token(), session_id,
+                   was_open](Status status) {
+                    if (token.expired()) return;
                     if (status.ok()) {
                       if (was_open) {
                         ++stats_.results_live;

@@ -9,6 +9,7 @@
 #include <memory>
 #include <string>
 
+#include "common/handler_slot.hpp"
 #include "handover/result_router.hpp"
 #include "migration/task.hpp"
 #include "peerhood/library.hpp"
@@ -70,6 +71,9 @@ class TaskServer {
   std::map<std::uint64_t, Session> sessions_;
   Stats stats_;
   bool running_{false};
+  // Guards the processing-completion events (they capture `this` and are
+  // not individually tracked/cancelled).
+  DestructionSentinel sentinel_;
 };
 
 }  // namespace peerhood::migration

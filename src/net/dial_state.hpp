@@ -1,0 +1,38 @@
+// HalfOpenDial — the shared ownership state of one in-flight dial: a
+// connection attempt plus the wait for its chain acknowledgement (PH_OK /
+// PH_FAIL). Used by Library::dial and BridgeService::establish_downstream.
+//
+// The state owns the half-open connection; the connection's handlers
+// capture only a shared_ptr to this state (never the connection itself), so
+// the only cycle is state->conn->handlers->state, and every completion path
+// breaks it with release_conn(). A dial still in flight at teardown is
+// broken by ~SimNetwork's handler sever.
+#pragma once
+
+#include <memory>
+
+#include "net/connection.hpp"
+#include "sim/event_queue.hpp"
+
+namespace peerhood::net {
+
+struct HalfOpenDial {
+  bool done{false};
+  sim::EventId timer{sim::kInvalidEvent};
+  ConnectionPtr conn;
+
+  // Detaches the half-open connection and returns it (empty when the
+  // connect itself has not resolved yet). Severing the handlers here is
+  // what releases the state — and with it, this struct's captures.
+  ConnectionPtr release_conn() {
+    ConnectionPtr out = std::move(conn);
+    conn = nullptr;
+    if (out != nullptr) {
+      out->set_data_handler(nullptr);
+      out->set_close_handler(nullptr);
+    }
+    return out;
+  }
+};
+
+}  // namespace peerhood::net

@@ -3,6 +3,7 @@
 #include <cassert>
 #include <utility>
 
+#include "common/handler_slot.hpp"
 #include "common/log.hpp"
 #include "sim/simulator.hpp"
 
@@ -42,7 +43,7 @@ class SimConnection final : public Connection,
     if (open_) {
       // RAII teardown: dropping the last handle closes this side politely.
       open_ = false;
-      close_handler_ = nullptr;
+      close_slot_.sever();
       net_.notify_local_close(*pair_, is_a_);
     }
   }
@@ -58,18 +59,24 @@ class SimConnection final : public Connection,
   }
 
   void set_data_handler(DataHandler handler) override {
-    data_handler_ = std::move(handler);
-    if (data_handler_) {
-      while (!rx_.empty()) {
-        Bytes frame = std::move(rx_.front());
-        rx_.pop_front();
-        data_handler_(frame);
-      }
+    data_slot_.set(std::move(handler));
+    if (!data_slot_.armed() || rx_.empty()) return;
+    // Drain buffered frames through the slot. A drained frame's handler may
+    // replace itself (fresh handler re-read per frame) or release the last
+    // strong reference to this connection — hold a strong self-reference per
+    // iteration and re-acquire it through the weak pointer, so the loop
+    // never touches a freed object.
+    const std::weak_ptr<SimConnection> self = weak_from_this();
+    while (const auto strong = self.lock()) {
+      if (!strong->data_slot_.armed() || strong->rx_.empty()) break;
+      Bytes frame = std::move(strong->rx_.front());
+      strong->rx_.pop_front();
+      strong->data_slot_.invoke(frame);
     }
   }
 
   void set_close_handler(CloseHandler handler) override {
-    close_handler_ = std::move(handler);
+    close_slot_.set(std::move(handler));
   }
 
   std::optional<Bytes> poll_frame() override {
@@ -112,11 +119,11 @@ class SimConnection final : public Connection,
   // --- internal hooks used by SimNetwork -----------------------------------
   void deliver(Bytes payload) {
     if (!open_) return;
-    if (data_handler_) {
-      // Copy the handler first: it may replace itself (e.g. the engine's
-      // first-frame handshake handler hands the connection to a channel).
-      const DataHandler handler = data_handler_;
-      handler(payload);
+    if (data_slot_.armed()) {
+      // Slot dispatch copies the handler first: it may replace itself (e.g.
+      // the engine's first-frame handshake handler hands the connection to a
+      // channel) or release the last reference to this connection.
+      data_slot_.invoke(payload);
     } else {
       // Undelivered frames are moved, not copied, into the rx queue.
       rx_.push_back(std::move(payload));
@@ -124,14 +131,13 @@ class SimConnection final : public Connection,
   }
 
   // Peer closed or coverage lost: mark closed and inform the application.
+  // The close handler is consumed, so it fires at most once even when both
+  // the peer frame and the keepalive report the same death.
   void force_close() {
     if (!open_) return;
     open_ = false;
-    if (close_handler_) {
-      const CloseHandler handler = close_handler_;
-      handler();
-    }
     release_handlers_deferred();
+    close_slot_.fire_once();
   }
 
   // Handlers often capture the connection's own shared_ptr (handshake
@@ -140,10 +146,7 @@ class SimConnection final : public Connection,
   void release_handlers_deferred() {
     const std::weak_ptr<SimConnection> self = weak_from_this();
     net_.simulator().schedule_after(SimDuration{0}, [self] {
-      if (const auto strong = self.lock()) {
-        strong->data_handler_ = nullptr;
-        strong->close_handler_ = nullptr;
-      }
+      if (const auto strong = self.lock()) strong->clear_handlers();
     });
   }
 
@@ -152,13 +155,13 @@ class SimConnection final : public Connection,
   // the handlers, breaking handler->channel->connection reference cycles.
   void mark_closed() { open_ = false; }
   void clear_handlers() {
-    // Move out first: destroying the old handlers can reentrantly call
-    // set_*_handler(nullptr) on this same connection (via ~Channel).
-    DataHandler data = std::move(data_handler_);
-    CloseHandler close_h = std::move(close_handler_);
-    data_handler_ = nullptr;
-    close_handler_ = nullptr;
-    // Locals destroyed here, releasing whatever they captured.
+    // Take both handlers out before destroying either: releasing a capture
+    // can reentrantly call set_*_handler(nullptr) on this same connection
+    // (via ~Channel) or even destroy this connection outright.
+    auto data = data_slot_.sever_take();
+    auto close_h = close_slot_.sever_take();
+    // Locals destroyed here, releasing whatever they captured; no member of
+    // *this is touched after this point.
   }
 
   [[nodiscard]] int override_quality_now() {
@@ -173,8 +176,8 @@ class SimConnection final : public Connection,
   std::shared_ptr<SimNetwork::Pair> pair_;
   bool is_a_;
   bool open_{true};
-  DataHandler data_handler_;
-  CloseHandler close_handler_;
+  HandlerSlot<void(const Bytes&)> data_slot_;
+  HandlerSlot<void()> close_slot_;
   QualityOverride quality_override_;
   std::deque<Bytes> rx_;
 };
@@ -298,7 +301,10 @@ void SimNetwork::finish_connect(MacAddress from_mac, NetAddress to,
                         keepalive_period_);
 
   // Acceptor first (mirrors listen/accept then connect-return ordering).
-  listener->second(end_b);
+  // Copy the accept handler out of the map: it may stop_listening on this
+  // very address from inside the callback.
+  const AcceptHandler accept = listener->second;
+  accept(end_b);
   handler(ConnectionPtr{end_a});
 }
 
@@ -309,8 +315,11 @@ void SimNetwork::handle_frame(MacAddress local, Technology tech,
   if (kind == kFrameDatagram) {
     const auto it = interfaces_.find(iface_key(local, tech));
     if (it != interfaces_.end() && it->second.datagram_handler) {
+      // Copy before calling: the handler may detach this very interface
+      // (daemon stop from inside a datagram), invalidating the map slot.
+      const DatagramHandler handler = it->second.datagram_handler;
       const Bytes payload{frame.begin() + 1, frame.end()};
-      it->second.datagram_handler(from, payload);
+      handler(from, payload);
     }
     return;
   }

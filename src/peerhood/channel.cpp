@@ -21,45 +21,67 @@ Channel::~Channel() {
 }
 
 void Channel::attach() {
-  if (connection_ == nullptr) return;
-  connection_->set_data_handler([this](const Bytes& frame) {
-    if (data_handler_) data_handler_(frame);
-  });
+  // A closed channel must never re-arm transport handlers: set_*_handler
+  // after close() is a documented no-op (TaskClient's destructor and
+  // ReliableChannel::shutdown pass nullptr through here in good faith).
+  if (closed_ || connection_ == nullptr) return;
+  // The transport-level handlers capture a raw `this`: the channel owns the
+  // connection and detaches these in close()/~Channel, so they can never
+  // outlive the channel.
+  connection_->set_data_handler(
+      [this](const Bytes& frame) { data_slot_.invoke(frame); });
   connection_->set_close_handler([this] {
-    if (close_handler_) close_handler_();
+    // Transport lost. The session itself stays resumable (§5.2.1); the loss
+    // is reported at most once per transport — the latch dedupes reentrant
+    // reports (peer close frame + keepalive, or a close() from inside the
+    // callback) and replace_connection() re-arms it, so a substituted
+    // connection's later death is reported again. The handler may close()
+    // or drop the last ChannelPtr to *this — invoke is the last statement.
+    if (loss_reported_) return;
+    loss_reported_ = true;
+    close_slot_.invoke();
   });
 }
 
 Status Channel::write(Bytes frame) {
-  if (connection_ == nullptr) {
+  if (connection_ == nullptr || closed_) {
     return Status{ErrorCode::kConnectionClosed, "channel has no connection"};
   }
   return connection_->write(std::move(frame));
 }
 
 void Channel::set_data_handler(DataHandler handler) {
-  data_handler_ = std::move(handler);
+  data_slot_.set(std::move(handler));
   // Re-attach so that buffered frames drain into the new handler.
   attach();
 }
 
 void Channel::set_close_handler(CloseHandler handler) {
-  close_handler_ = std::move(handler);
+  close_slot_.set(std::move(handler));
 }
 
 void Channel::set_handover_handler(HandoverHandler handler) {
-  handover_handler_ = std::move(handler);
+  handover_slot_.set(std::move(handler));
 }
 
 bool Channel::open() const {
-  return connection_ != nullptr && connection_->open();
+  return !closed_ && connection_ != nullptr && connection_->open();
 }
 
 void Channel::close() {
+  if (closed_) return;
+  closed_ = true;
   if (connection_ != nullptr) {
+    // Detach before closing: the old link's demise is not a session loss.
+    connection_->set_data_handler(nullptr);
     connection_->set_close_handler(nullptr);
     connection_->close();
   }
+  // Sever last and destroy outside the member accesses: releasing a handler
+  // capture may drop the last ChannelPtr to *this.
+  auto data = data_slot_.sever_take();
+  auto close_h = close_slot_.sever_take();
+  auto handover = handover_slot_.sever_take();
 }
 
 int Channel::link_quality() {
@@ -67,6 +89,11 @@ int Channel::link_quality() {
 }
 
 void Channel::replace_connection(net::ConnectionPtr connection) {
+  if (closed_) {
+    // A dead session cannot be resumed; refuse the substitute politely.
+    if (connection != nullptr) connection->close();
+    return;
+  }
   if (connection_ != nullptr) {
     // Detach before closing: the old link's demise is not a session loss.
     connection_->set_data_handler(nullptr);
@@ -74,8 +101,9 @@ void Channel::replace_connection(net::ConnectionPtr connection) {
     connection_->close();
   }
   connection_ = std::move(connection);
+  loss_reported_ = false;  // the new transport's death is a new loss
   attach();
-  if (handover_handler_) handover_handler_(connection_);
+  handover_slot_.invoke(connection_);
 }
 
 }  // namespace peerhood

@@ -3,6 +3,16 @@
 // object (the ChangeConnection callback, §5.2.1 state 2); Channel is that
 // object. It also carries the `sending` flag of §5.3 that tells the handover
 // monitor whether connection loss currently matters.
+//
+// Ownership model (PR 3, see common/handler_slot.hpp): handlers installed on
+// a channel must not own the channel — keep the ChannelPtr in a registry
+// (session table, fixture member, scenario vector) and capture a raw/weak
+// reference. close() is idempotent and severs every handler, so a closed
+// channel releases its captures immediately; the close handler fires at most
+// once per transport, even when the loss is reported reentrantly from both
+// the endpoint and the transport side — after a substitution the re-armed
+// latch reports the new connection's death again (the session-survives-
+// transport contract).
 #pragma once
 
 #include <cstdint>
@@ -12,6 +22,7 @@
 #include <string>
 
 #include "common/bytes.hpp"
+#include "common/handler_slot.hpp"
 #include "common/mac_address.hpp"
 #include "common/result.hpp"
 #include "net/connection.hpp"
@@ -45,7 +56,12 @@ class Channel {
   void set_handover_handler(HandoverHandler handler);
 
   [[nodiscard]] bool open() const;
+  // Idempotent: severs all handlers (releasing their captures), detaches and
+  // closes the transport. The channel's own close handler does not fire (a
+  // local close is not a session loss); afterwards set_*_handler is a no-op
+  // and the session cannot be resumed.
   void close();
+  [[nodiscard]] bool closed() const { return closed_; }
   [[nodiscard]] int link_quality();
 
   // §5.3 "sending" flag (the paper's Getsending method): true while the
@@ -55,7 +71,8 @@ class Channel {
 
   // Substitutes the underlying connection, re-attaching the application
   // handlers; the old connection is closed silently (its close must not be
-  // reported as a session loss).
+  // reported as a session loss). No-op on a closed channel — the incoming
+  // connection is closed instead.
   void replace_connection(net::ConnectionPtr connection);
 
   [[nodiscard]] const net::ConnectionPtr& connection() const {
@@ -72,10 +89,14 @@ class Channel {
   std::string service_;
   MacAddress peer_;
   net::ConnectionPtr connection_;
-  DataHandler data_handler_;
-  CloseHandler close_handler_;
-  HandoverHandler handover_handler_;
+  HandlerSlot<void(const Bytes&)> data_slot_;
+  HandlerSlot<void()> close_slot_;
+  HandlerSlot<void(const net::ConnectionPtr&)> handover_slot_;
   bool sending_{true};
+  bool closed_{false};
+  // Latches after the current transport's loss was reported; reset by
+  // replace_connection so each substituted transport reports once.
+  bool loss_reported_{false};
 };
 
 using ChannelPtr = std::shared_ptr<Channel>;

@@ -131,8 +131,9 @@ void Daemon::answer_fetch(Technology tech, MacAddress from,
                                : params.fetch_time;
   const std::uint32_t request_id = request.request_id;
   const std::uint8_t sections = request.sections;
-  simulator().schedule_after(cost, [this, tech, from, request_id, sections] {
-    if (!running_) return;
+  simulator().schedule_after(cost, [this, token = sentinel_.token(), tech,
+                                    from, request_id, sections] {
+    if (token.expired() || !running_) return;
     wire::FetchResponse response;
     response.request_id = request_id;
     response.sections = sections;

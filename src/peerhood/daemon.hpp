@@ -9,6 +9,7 @@
 #include <string_view>
 #include <vector>
 
+#include "common/handler_slot.hpp"
 #include "common/mac_address.hpp"
 #include "discovery/analyzer.hpp"
 #include "discovery/device_storage.hpp"
@@ -90,6 +91,9 @@ class Daemon {
   std::uint16_t next_port_{100};
   std::uint16_t session_counter_{0};
   bool running_{false};
+  // Guards the deferred fetch answers (they capture `this` and are owned by
+  // the event queue, which can outlive a dynamically-destroyed daemon).
+  DestructionSentinel sentinel_;
 };
 
 }  // namespace peerhood

@@ -1,0 +1,89 @@
+#include "peerhood/dial.hpp"
+
+#include <memory>
+#include <utility>
+
+#include "net/dial_state.hpp"
+#include "peerhood/protocol.hpp"
+#include "sim/simulator.hpp"
+
+namespace peerhood {
+
+void dial_with_ack(net::SimNetwork& network, MacAddress from,
+                   const net::NetAddress& hop, Bytes first_frame,
+                   SimDuration timeout,
+                   std::function<void(Result<net::ConnectionPtr>)> done) {
+  sim::Simulator& sim = network.simulator();
+  auto state = std::make_shared<net::HalfOpenDial>();
+  auto shared_done =
+      std::make_shared<std::function<void(Result<net::ConnectionPtr>)>>(
+          std::move(done));
+
+  state->timer = sim.schedule_after(timeout, [state, shared_done] {
+    if (state->done) return;
+    state->done = true;
+    // Abandon the half-open connection: sever its handlers (they keep this
+    // state alive) and close it so the peer converges to closed too.
+    if (const auto conn = state->release_conn()) conn->close();
+    (*shared_done)(Error{ErrorCode::kTimeout, "connect timed out"});
+  });
+
+  sim::Simulator* simp = &sim;
+  network.connect(
+      from, hop,
+      [state, shared_done, simp, first_frame = std::move(first_frame)](
+          Result<net::ConnectionPtr> result) mutable {
+        if (state->done) {
+          // Timed out while establishing; release the late connection.
+          if (result.ok()) result.value()->close();
+          return;
+        }
+        if (!result.ok()) {
+          state->done = true;
+          simp->cancel(state->timer);
+          (*shared_done)(result.error());
+          return;
+        }
+        // The state owns the connection while the ack is pending; the
+        // handlers below deliberately capture `state`, not the connection.
+        state->conn = std::move(result).value();
+        (void)state->conn->write(std::move(first_frame));
+        // Await the PH_OK / PH_FAIL chain acknowledgement.
+        state->conn->set_close_handler([state, shared_done, simp] {
+          if (state->done) return;
+          state->done = true;
+          simp->cancel(state->timer);
+          (void)state->release_conn();
+          (*shared_done)(Error{ErrorCode::kConnectionClosed,
+                               "closed before acknowledgement"});
+        });
+        state->conn->set_data_handler([state, shared_done,
+                                       simp](const Bytes& frame) {
+          if (state->done) return;
+          state->done = true;
+          simp->cancel(state->timer);
+          const net::ConnectionPtr conn = state->release_conn();
+          const auto handshake = wire::decode_handshake(frame);
+          if (!handshake.has_value()) {
+            conn->close();
+            (*shared_done)(
+                Error{ErrorCode::kProtocolError, "bad acknowledgement"});
+            return;
+          }
+          if (handshake->command == wire::Command::kOk) {
+            (*shared_done)(conn);
+            return;
+          }
+          conn->close();
+          if (handshake->command == wire::Command::kFail) {
+            (*shared_done)(
+                Error{handshake->fail.code, handshake->fail.message});
+          } else {
+            (*shared_done)(Error{ErrorCode::kProtocolError,
+                                 "unexpected acknowledgement command"});
+          }
+        });
+      });
+}
+
+}  // namespace peerhood

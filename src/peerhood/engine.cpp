@@ -27,6 +27,14 @@ void Engine::stop() {
         net::NetAddress{mac_, tech, net::kPeerHoodEnginePort});
   }
   listening_.clear();
+  // Sever the handshake handlers (they capture `this`) and close the
+  // half-open connections before dropping them, so a stopped engine leaves
+  // neither dangling callbacks nor silently hanging peers behind.
+  for (auto& [key, conn] : pending_) {
+    conn->set_data_handler(nullptr);
+    conn->set_close_handler(nullptr);
+    conn->close();
+  }
   pending_.clear();
 }
 
@@ -44,7 +52,7 @@ bool Engine::has_service_handler(const std::string& name) const {
 }
 
 void Engine::set_bridge_handler(BridgeHandler handler) {
-  bridge_handler_ = std::move(handler);
+  bridge_slot_.set(std::move(handler));
 }
 
 void Engine::register_session(const ChannelPtr& channel) {
@@ -117,7 +125,10 @@ void Engine::handle_handshake(net::ConnectionPtr connection,
           request.session_id, request.service, peer, std::move(connection));
       channel->client_params = request.client_params;
       register_session(channel);
-      it->second(channel, request);
+      // Copy the handler out of the map: the callback may unregister the
+      // service (or replace its handler) from inside.
+      const ServiceHandler handler = it->second;
+      handler(channel, request);
       return;
     }
     case wire::Command::kResume: {
@@ -125,9 +136,11 @@ void Engine::handle_handshake(net::ConnectionPtr connection,
       const wire::ConnectRequest& request = handshake->connect;
       ChannelPtr session = find_session(request.session_id);
       // Expiry is explicit: drop the registry entry of a dead session here
-      // rather than behind a const lookup.
+      // rather than behind a const lookup. A closed channel is equally
+      // unresumable — its handlers are severed and its state retired.
       if (session == nullptr) (void)prune_session(request.session_id);
-      if (session == nullptr || session->service() != request.service) {
+      if (session == nullptr || session->closed() ||
+          session->service() != request.service) {
         ++stats_.rejected;
         (void)connection->write(wire::encode_fail(
             ErrorCode::kNoSuchService, "unknown session for resume"));
@@ -140,14 +153,15 @@ void Engine::handle_handshake(net::ConnectionPtr connection,
     }
     case wire::Command::kBridge: {
       ++stats_.bridges;
-      if (!bridge_handler_) {
+      if (!bridge_slot_.armed()) {
         ++stats_.rejected;
         (void)connection->write(wire::encode_fail(
             ErrorCode::kNoSuchService, "bridge service disabled"));
         connection->close();
         return;
       }
-      bridge_handler_(std::move(connection), handshake->bridge);
+      // Slot dispatch: the bridge service may disable itself from inside.
+      bridge_slot_.invoke(std::move(connection), handshake->bridge);
       return;
     }
     default:

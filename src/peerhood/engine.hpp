@@ -11,6 +11,7 @@
 #include <string>
 #include <vector>
 
+#include "common/handler_slot.hpp"
 #include "net/network.hpp"
 #include "peerhood/channel.hpp"
 #include "peerhood/protocol.hpp"
@@ -73,7 +74,7 @@ class Engine {
   MacAddress mac_;
   std::vector<Technology> listening_;
   std::map<std::string, ServiceHandler> service_handlers_;
-  BridgeHandler bridge_handler_;
+  HandlerSlot<void(net::ConnectionPtr, wire::BridgeRequest)> bridge_slot_;
   // Accepted connections awaiting their first (handshake) frame.
   std::map<std::uint64_t, net::ConnectionPtr> pending_;
   std::map<std::uint64_t, std::weak_ptr<Channel>> sessions_;

@@ -3,17 +3,9 @@
 #include <memory>
 
 #include "common/log.hpp"
+#include "peerhood/dial.hpp"
 
 namespace peerhood {
-namespace {
-
-// Tracks one in-flight dial: connection attempt + handshake acknowledgement.
-struct DialState {
-  bool done{false};
-  sim::EventId timer{sim::kInvalidEvent};
-};
-
-}  // namespace
 
 std::vector<DeviceRecord> Library::get_device_list() const {
   return daemon_.storage().snapshot();
@@ -47,72 +39,8 @@ void Library::unregister_service(const std::string& name) {
 void Library::dial(const net::NetAddress& hop, Bytes first_frame,
                    SimDuration timeout,
                    std::function<void(Result<net::ConnectionPtr>)> done) {
-  sim::Simulator& sim = daemon_.simulator();
-  auto state = std::make_shared<DialState>();
-  auto shared_done =
-      std::make_shared<std::function<void(Result<net::ConnectionPtr>)>>(
-          std::move(done));
-
-  state->timer = sim.schedule_after(timeout, [state, shared_done] {
-    if (state->done) return;
-    state->done = true;
-    (*shared_done)(Error{ErrorCode::kTimeout, "connect timed out"});
-  });
-
-  sim::Simulator* simp = &sim;
-  daemon_.network().connect(
-      daemon_.mac(), hop,
-      [state, shared_done, simp, first_frame = std::move(first_frame)](
-          Result<net::ConnectionPtr> result) mutable {
-        if (state->done) {
-          // Timed out while establishing; release the late connection.
-          if (result.ok()) result.value()->close();
-          return;
-        }
-        if (!result.ok()) {
-          state->done = true;
-          simp->cancel(state->timer);
-          (*shared_done)(result.error());
-          return;
-        }
-        net::ConnectionPtr conn = std::move(result).value();
-        (void)conn->write(std::move(first_frame));
-        // Await the PH_OK / PH_FAIL chain acknowledgement.
-        conn->set_close_handler([state, shared_done, simp] {
-          if (state->done) return;
-          state->done = true;
-          simp->cancel(state->timer);
-          (*shared_done)(Error{ErrorCode::kConnectionClosed,
-                               "closed before acknowledgement"});
-        });
-        conn->set_data_handler([state, shared_done, conn,
-                                simp](const Bytes& frame) {
-          if (state->done) return;
-          state->done = true;
-          simp->cancel(state->timer);
-          conn->set_close_handler(nullptr);
-          conn->set_data_handler(nullptr);
-          const auto handshake = wire::decode_handshake(frame);
-          if (!handshake.has_value()) {
-            conn->close();
-            (*shared_done)(
-                Error{ErrorCode::kProtocolError, "bad acknowledgement"});
-            return;
-          }
-          if (handshake->command == wire::Command::kOk) {
-            (*shared_done)(conn);
-            return;
-          }
-          conn->close();
-          if (handshake->command == wire::Command::kFail) {
-            (*shared_done)(
-                Error{handshake->fail.code, handshake->fail.message});
-          } else {
-            (*shared_done)(Error{ErrorCode::kProtocolError,
-                                 "unexpected acknowledgement command"});
-          }
-        });
-      });
+  dial_with_ack(daemon_.network(), daemon_.mac(), hop, std::move(first_frame),
+                timeout, std::move(done));
 }
 
 void Library::connect(MacAddress destination, std::string service,

@@ -37,6 +37,13 @@ void Plugin::stop() {
     daemon_.simulator().cancel(cycle_event_);
     cycle_event_ = sim::kInvalidEvent;
   }
+  if (inquiry_end_event_ != sim::kInvalidEvent) {
+    daemon_.simulator().cancel(inquiry_end_event_);
+    inquiry_end_event_ = sim::kInvalidEvent;
+    // Stopped mid-inquiry: leave the medium in a sane state, not forever
+    // undiscoverable-by-asymmetry.
+    daemon_.network().medium().set_inquiring(daemon_.mac(), tech_, false);
+  }
   if (pending_.has_value()) {
     daemon_.simulator().cancel(pending_->timeout);
     pending_.reset();
@@ -53,8 +60,11 @@ void Plugin::begin_cycle() {
   sim::RadioMedium& medium = daemon_.network().medium();
   ++medium.stats().inquiries;
   medium.set_inquiring(daemon_.mac(), tech_, true);
-  daemon_.simulator().schedule_after(medium.params(tech_).inquiry_duration,
-                                     [this] { end_inquiry(); });
+  inquiry_end_event_ = daemon_.simulator().schedule_after(
+      medium.params(tech_).inquiry_duration, [this] {
+        inquiry_end_event_ = sim::kInvalidEvent;
+        end_inquiry();
+      });
 }
 
 void Plugin::end_inquiry() {
@@ -192,7 +202,13 @@ void Plugin::fetch_section(MacAddress target, std::uint8_t sections,
   // "even if the devices have strong enough signal", §4.3).
   if (sim.rng().bernoulli(params.fetch_failure_prob)) {
     ++stats_.fetch_failures;
-    sim.schedule_after(cost, [done = std::move(done)] { done(std::nullopt); });
+    // `done` continues the fetch chain through raw-`this` captures; the
+    // token parks the event harmlessly if the plugin dies before it fires.
+    sim.schedule_after(cost, [token = sentinel_.token(),
+                              done = std::move(done)] {
+      if (token.expired()) return;
+      done(std::nullopt);
+    });
     return;
   }
   const std::uint32_t request_id = next_request_id_++;

@@ -11,6 +11,7 @@
 #include <optional>
 #include <vector>
 
+#include "common/handler_slot.hpp"
 #include "common/mac_address.hpp"
 #include "peerhood/protocol.hpp"
 #include "sim/simulator.hpp"
@@ -71,8 +72,12 @@ class Plugin {
   Daemon& daemon_;
   Technology tech_;
   sim::EventId cycle_event_{sim::kInvalidEvent};
+  sim::EventId inquiry_end_event_{sim::kInvalidEvent};
   bool stopped_{true};
   bool cycle_active_{false};
+  // Guards the per-fetch completion closures (they capture `this` and are
+  // owned by the event queue, which can outlive this plugin's daemon).
+  DestructionSentinel sentinel_;
 
   // Per-cycle state.
   struct FetchJob {

@@ -23,9 +23,20 @@ ReliableChannel::ReliableChannel(sim::Simulator& sim, ChannelPtr channel,
                           config_.retransmit_interval);
 }
 
-ReliableChannel::~ReliableChannel() {
+ReliableChannel::~ReliableChannel() { shutdown(); }
+
+void ReliableChannel::shutdown() {
   retransmit_timer_.stop();
   sim_.cancel(ack_timer_);
+  ack_timer_ = sim::kInvalidEvent;
+  ack_pending_ = false;
+  // The channel outlives this layer whenever the application still holds a
+  // ChannelPtr; its handlers capture a raw `this` and must be detached.
+  if (channel_ != nullptr) {
+    channel_->set_data_handler(nullptr);
+    channel_->set_handover_handler(nullptr);
+  }
+  data_slot_.sever();
 }
 
 Status ReliableChannel::send(Bytes frame) {
@@ -49,7 +60,7 @@ void ReliableChannel::transmit(std::uint64_t seq, const Bytes& payload) {
 }
 
 void ReliableChannel::set_data_handler(DataHandler handler) {
-  data_handler_ = std::move(handler);
+  data_slot_.set(std::move(handler));
 }
 
 void ReliableChannel::on_frame(const Bytes& frame) {
@@ -67,7 +78,7 @@ void ReliableChannel::on_frame(const Bytes& frame) {
         reorder_.erase(reorder_.begin());
         ++expected_;
         ++delivered_;
-        if (data_handler_) data_handler_(next);
+        data_slot_.invoke(next);
       }
     }
     // Duplicate or old frame: just (re)ack.

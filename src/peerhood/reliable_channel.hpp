@@ -18,6 +18,7 @@
 #include <functional>
 #include <map>
 
+#include "common/handler_slot.hpp"
 #include "peerhood/channel.hpp"
 #include "sim/simulator.hpp"
 
@@ -60,6 +61,11 @@ class ReliableChannel {
   // called automatically after a handover, exposed for tests.
   void resync();
 
+  // Idempotent: stops the timers and detaches from the channel (which holds
+  // raw-`this` handlers), leaving the channel itself usable. Called by the
+  // destructor, so destroying the reliability layer mid-transfer is safe.
+  void shutdown();
+
  private:
   void on_frame(const Bytes& frame);
   void flush_ack();
@@ -69,7 +75,7 @@ class ReliableChannel {
   sim::Simulator& sim_;
   ChannelPtr channel_;
   ReliableConfig config_;
-  DataHandler data_handler_;
+  HandlerSlot<void(const Bytes&)> data_slot_;
 
   // Sender state.
   std::uint64_t next_seq_{1};

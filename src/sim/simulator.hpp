@@ -8,6 +8,7 @@
 #include <functional>
 #include <vector>
 
+#include "common/handler_slot.hpp"
 #include "common/rng.hpp"
 #include "common/sim_time.hpp"
 #include "sim/event_queue.hpp"
@@ -110,7 +111,10 @@ class Simulator {
 };
 
 // Repeating task helper (inquiry loops, link monitors, relay polls). The task
-// stops rearming once cancelled or destroyed; destruction is safe mid-cycle.
+// stops rearming once cancelled or destroyed; destruction is safe mid-cycle —
+// including from *inside* the tick itself (a tick callback may destroy the
+// object owning this task, e.g. an application event handler tearing down a
+// HandoverController from a monitor tick).
 class PeriodicTask {
  public:
   PeriodicTask() = default;
@@ -123,7 +127,7 @@ class PeriodicTask {
     stop();
     sim_ = &sim;
     period_ = period;
-    tick_ = std::move(tick);
+    tick_ = std::make_shared<const std::function<void()>>(std::move(tick));
     stopped_ = false;
     arm(initial_delay);
   }
@@ -140,19 +144,24 @@ class PeriodicTask {
 
  private:
   void arm(SimDuration delay) {
-    event_ = sim_->schedule_after(delay, [this] {
-      event_ = kInvalidEvent;
-      tick_();
-      // tick_ may have called stop(); only rearm if still running.
-      if (!stopped_) arm(period_);
-    });
+    // Pin the tick and watch the sentinel: the callback may stop() this
+    // task or destroy it outright; members are only touched while the
+    // token is live.
+    event_ = sim_->schedule_after(
+        delay, [this, token = sentinel_.token(), tick = tick_] {
+          event_ = kInvalidEvent;
+          (*tick)();
+          if (token.expired()) return;  // tick destroyed this task
+          if (!stopped_) arm(period_);
+        });
   }
 
   Simulator* sim_{nullptr};
   SimDuration period_{};
-  std::function<void()> tick_;
+  std::shared_ptr<const std::function<void()>> tick_;
   EventId event_{kInvalidEvent};
   bool stopped_{true};
+  peerhood::DestructionSentinel sentinel_;
 };
 
 }  // namespace peerhood::sim

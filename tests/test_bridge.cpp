@@ -34,8 +34,10 @@ class BridgeTest : public ::testing::Test {
         ServiceInfo{"echo", "", 0},
         [this](ChannelPtr channel, const wire::ConnectRequest&) {
           server_channel_ = channel;
-          channel->set_data_handler([channel](const Bytes& frame) {
-            (void)channel->write(frame);
+          // Ownership stays in the fixture; a handler owning its own channel
+          // would be an unbreakable cycle (see common/handler_slot.hpp).
+          channel->set_data_handler([raw = channel.get()](const Bytes& frame) {
+            (void)raw->write(frame);
           });
         });
     testbed_->run_discovery_rounds(4 + extra_hops * 2);

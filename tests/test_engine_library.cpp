@@ -24,8 +24,10 @@ class EngineLibraryTest : public ::testing::Test {
         ServiceInfo{"echo", "test", 0},
         [this](ChannelPtr channel, const wire::ConnectRequest&) {
           server_channels_.push_back(channel);
-          channel->set_data_handler([channel](const Bytes& frame) {
-            (void)channel->write(frame);
+          // Ownership stays in the fixture vector; the echo handler must not
+          // keep its own channel alive (see common/handler_slot.hpp).
+          channel->set_data_handler([raw = channel.get()](const Bytes& frame) {
+            (void)raw->write(frame);
           });
         });
     testbed_.run_discovery_rounds(3);

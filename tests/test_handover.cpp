@@ -286,13 +286,16 @@ TEST_F(HandoverTest, WalkingAwayScenario) {
           }),
       fast_node(MobilityClass::kDynamic));
   int received = 0;
+  // Server-side sessions live in an explicit registry — a handler owning its
+  // own channel would be an unbreakable cycle (see common/handler_slot.hpp).
+  std::vector<ChannelPtr> server_sessions;
   (void)server.library().register_service(
       ServiceInfo{"print", "", 0},
-      [&received](ChannelPtr channel, const wire::ConnectRequest&) {
-        auto keep = channel;
-        channel->set_data_handler([&received, keep](const Bytes&) {
-          ++received;
-        });
+      [&received, &server_sessions](ChannelPtr channel,
+                                    const wire::ConnectRequest&) {
+        server_sessions.push_back(std::move(channel));
+        server_sessions.back()->set_data_handler(
+            [&received](const Bytes&) { ++received; });
       });
   testbed.run_discovery_rounds(3);
 

@@ -160,12 +160,15 @@ TEST_F(ResultRoutingTest, ReconnectsThroughBridgeWhenClientMoved) {
   (void)bridge.name();
 
   Bytes client_received;
+  // Callback sessions live in an explicit registry — a handler owning its
+  // own channel would be an unbreakable cycle (see common/handler_slot.hpp).
+  std::vector<ChannelPtr> callback_sessions;
   (void)client.library().register_service(
       ServiceInfo{"client.result", kHiddenAttribute, 0},
       [&](ChannelPtr channel, const wire::ConnectRequest&) {
-        auto keep = channel;
-        channel->set_data_handler(
-            [&client_received, keep](const Bytes& f) { client_received = f; });
+        callback_sessions.push_back(std::move(channel));
+        callback_sessions.back()->set_data_handler(
+            [&client_received](const Bytes& f) { client_received = f; });
       });
   ChannelPtr server_channel;
   (void)server.library().register_service(

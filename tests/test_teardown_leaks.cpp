@@ -1,0 +1,507 @@
+// Teardown / ownership regression net (PR 3). Every scenario here ends with
+// live session objects destroyed at an "interesting" phase — mid-handshake,
+// mid-transfer, mid-handover, with frames in flight or retries pending — and
+// the CI sanitize job runs this binary with LeakSanitizer fully on
+// (`detect_leaks=1`, no suppressions): a reintroduced handler reference
+// cycle or a callback that outlives its owner fails the job, not just the
+// explicit EXPECTs below.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "handover/handover.hpp"
+#include "migration/task_client.hpp"
+#include "migration/task_server.hpp"
+#include "peerhood/reliable_channel.hpp"
+#include "scenario_util.hpp"
+
+namespace peerhood {
+namespace {
+
+using handover::HandoverController;
+using migration::MigrationOutcome;
+using migration::TaskClient;
+using migration::TaskClientConfig;
+using migration::TaskServer;
+using migration::TaskServerConfig;
+using node::Testbed;
+using testing::fast_node;
+using testing::reliable_bluetooth;
+
+// A tracked capture: tests hand these to handlers and then assert (through
+// the weak reference) that severing the handler released the capture.
+struct Tracker {
+  std::shared_ptr<int> strong = std::make_shared<int>(0);
+  std::weak_ptr<int> weak = strong;
+
+  // Keep only the handler's copy alive.
+  void drop_local() { strong.reset(); }
+  [[nodiscard]] bool released() const { return weak.expired(); }
+};
+
+// Two nodes in range with a connected "echo"-less session; the fixture keeps
+// the server-side channels alive in an explicit registry.
+class TeardownTest : public ::testing::Test {
+ protected:
+  void build(std::uint64_t seed) {
+    testbed_ = std::make_unique<Testbed>(seed);
+    testbed_->medium().configure(reliable_bluetooth());
+    client_ = &testbed_->add_node("client", {0.0, 0.0},
+                                  fast_node(MobilityClass::kDynamic));
+    server_ = &testbed_->add_node("server", {5.0, 0.0},
+                                  fast_node(MobilityClass::kStatic));
+    (void)server_->library().register_service(
+        ServiceInfo{"sink", "", 0},
+        [this](ChannelPtr channel, const wire::ConnectRequest&) {
+          server_channels_.push_back(std::move(channel));
+        });
+    testbed_->run_discovery_rounds(3);
+  }
+
+  ChannelPtr connect() {
+    auto result = client_->connect_blocking(server_->mac(), "sink");
+    EXPECT_TRUE(result.ok()) << (result.ok() ? "" : result.error().to_string());
+    return result.ok() ? result.value() : nullptr;
+  }
+
+  std::unique_ptr<Testbed> testbed_;
+  node::Node* client_{nullptr};
+  node::Node* server_{nullptr};
+  std::vector<ChannelPtr> server_channels_;
+};
+
+TEST_F(TeardownTest, ChannelCloseSeversHandlersImmediately) {
+  build(1);
+  const ChannelPtr channel = connect();
+  ASSERT_NE(channel, nullptr);
+
+  Tracker data_capture;
+  Tracker close_capture;
+  Tracker handover_capture;
+  channel->set_data_handler([keep = data_capture.strong](const Bytes&) {});
+  channel->set_close_handler([keep = close_capture.strong] {});
+  channel->set_handover_handler(
+      [keep = handover_capture.strong](const net::ConnectionPtr&) {});
+  data_capture.drop_local();
+  close_capture.drop_local();
+  handover_capture.drop_local();
+  ASSERT_FALSE(data_capture.released());
+
+  channel->close();
+  // Severing is synchronous: the captures are gone before any event runs.
+  EXPECT_TRUE(data_capture.released());
+  EXPECT_TRUE(close_capture.released());
+  EXPECT_TRUE(handover_capture.released());
+  EXPECT_TRUE(channel->closed());
+  EXPECT_FALSE(channel->open());
+
+  // A closed channel silently refuses new handlers instead of re-arming.
+  Tracker late;
+  channel->set_data_handler([keep = late.strong](const Bytes&) {});
+  late.drop_local();
+  EXPECT_TRUE(late.released());
+
+  // close() is idempotent, from any side, any number of times.
+  channel->close();
+  EXPECT_TRUE(channel->closed());
+}
+
+TEST_F(TeardownTest, CloseHandlerFiresAtMostOnce) {
+  build(2);
+  const ChannelPtr channel = connect();
+  ASSERT_NE(channel, nullptr);
+  ASSERT_EQ(server_channels_.size(), 1u);
+
+  int client_loss_reports = 0;
+  channel->set_close_handler([&] {
+    ++client_loss_reports;
+    // Reentrant endpoint-side close from inside the transport-loss callback:
+    // must not re-fire the handler or crash.
+    channel->close();
+  });
+
+  // Transport side: the server endpoint closes; the client's keepalive and
+  // the peer close frame both observe the death.
+  server_channels_.front()->close();
+  testbed_->run_for(5.0);
+  EXPECT_EQ(client_loss_reports, 1);
+  EXPECT_TRUE(channel->closed());
+}
+
+TEST_F(TeardownTest, CloseFromInsideDataHandlerMidTrain) {
+  build(3);
+  const ChannelPtr channel = connect();
+  ASSERT_NE(channel, nullptr);
+  ASSERT_EQ(server_channels_.size(), 1u);
+
+  // The server sends a train of frames; the client closes the channel from
+  // inside the first delivery. The remaining in-flight frames must land
+  // harmlessly (connection closed, frames dropped), not crash or leak.
+  int delivered = 0;
+  channel->set_data_handler([&](const Bytes&) {
+    ++delivered;
+    channel->close();
+  });
+  for (int i = 0; i < 4; ++i) {
+    ASSERT_TRUE(server_channels_.front()->write(Bytes{std::uint8_t(i)}).ok());
+  }
+  testbed_->run_for(5.0);
+  EXPECT_EQ(delivered, 1);
+  EXPECT_TRUE(channel->closed());
+}
+
+TEST_F(TeardownTest, TeardownWithUndeliveredRxFrames) {
+  build(4);
+  const ChannelPtr channel = connect();
+  ASSERT_NE(channel, nullptr);
+  // Frames pile up in the connection's rx queue (no data handler installed)
+  // and more are still in flight when everything is destroyed.
+  for (int i = 0; i < 8; ++i) {
+    ASSERT_TRUE(server_channels_.front()->write(Bytes(64, 0x5A)).ok());
+  }
+  testbed_->run_for(0.01);  // some delivered into rx, some still in flight
+  // Destroy in awkward order: server channels first, then the testbed with
+  // the client channel still open. LSan asserts nothing survives.
+  server_channels_.clear();
+  testbed_.reset();
+  EXPECT_FALSE(channel->open());
+}
+
+TEST_F(TeardownTest, ReliableLayerDetachesOnDestruction) {
+  build(5);
+  const ChannelPtr channel = connect();
+  ASSERT_NE(channel, nullptr);
+  ASSERT_EQ(server_channels_.size(), 1u);
+
+  auto reliable = std::make_unique<ReliableChannel>(testbed_->sim(), channel);
+  ASSERT_TRUE(reliable->send(Bytes{1, 2, 3}).ok());
+  // Destroy the reliability layer with unacked frames outstanding, then let
+  // the peer keep talking on the raw channel: the dead layer's raw-`this`
+  // handlers must be gone.
+  reliable.reset();
+  int raw_frames = 0;
+  channel->set_data_handler([&](const Bytes&) { ++raw_frames; });
+  ASSERT_TRUE(server_channels_.front()->write(Bytes{9}).ok());
+  testbed_->run_for(5.0);
+  EXPECT_EQ(raw_frames, 1);
+}
+
+TEST_F(TeardownTest, EngineStopClosesPendingHandshakes) {
+  build(6);
+  // Open a transport connection to the engine but never send the handshake
+  // frame, then stop the engine: the pending connection must be severed and
+  // closed, not parked forever.
+  net::ConnectionPtr half_open;
+  testbed_->network().connect(
+      client_->mac(),
+      net::NetAddress{server_->mac(), Technology::kBluetooth,
+                      net::kPeerHoodEnginePort},
+      [&](Result<net::ConnectionPtr> result) {
+        if (result.ok()) half_open = std::move(result).value();
+      });
+  testbed_->run_for(10.0);
+  ASSERT_NE(half_open, nullptr);
+  ASSERT_TRUE(half_open->open());
+
+  bool closed = false;
+  half_open->set_close_handler([&] { closed = true; });
+  server_->daemon().engine().stop();
+  testbed_->run_for(5.0);
+  EXPECT_TRUE(closed);
+  EXPECT_FALSE(half_open->open());
+}
+
+TEST_F(TeardownTest, DialTimeoutReleasesHalfOpenConnection) {
+  build(7);
+  // A listener that accepts and never acknowledges: the library dial must
+  // time out AND release the half-open connection (pre-PR 3 the handlers
+  // stayed installed, pinning the connection in a cycle).
+  server_->daemon().engine().stop();
+  std::vector<net::ConnectionPtr> parked;
+  const net::NetAddress engine_addr{server_->mac(), Technology::kBluetooth,
+                                    net::kPeerHoodEnginePort};
+  testbed_->network().listen(engine_addr, [&](net::ConnectionPtr conn) {
+    parked.push_back(std::move(conn));
+  });
+
+  Library::ConnectOptions options;
+  options.timeout = seconds(10.0);
+  Result<ChannelPtr> outcome = Error{ErrorCode::kCancelled, "pending"};
+  client_->library().connect(server_->mac(), "sink", options,
+                             [&](Result<ChannelPtr> result) {
+                               outcome = std::move(result);
+                             });
+  testbed_->run_for(30.0);
+  ASSERT_FALSE(outcome.ok());
+  EXPECT_EQ(outcome.error().code, ErrorCode::kTimeout);
+  // The abandoned dial closed its half-open connection; the parked server
+  // end observed it.
+  ASSERT_EQ(parked.size(), 1u);
+  EXPECT_FALSE(parked.front()->open());
+}
+
+TEST_F(TeardownTest, CloseHandlerRearmsAcrossSubstitution) {
+  build(8);
+  const ChannelPtr channel = connect();
+  ASSERT_NE(channel, nullptr);
+  ASSERT_EQ(server_channels_.size(), 1u);
+
+  int losses = 0;
+  channel->set_close_handler([&] { ++losses; });
+  server_channels_.front()->close();  // first transport dies
+  testbed_->run_for(5.0);
+  EXPECT_EQ(losses, 1);
+  EXPECT_FALSE(channel->closed()) << "a transport loss is not a session end";
+
+  // Substitute a fresh raw transport (what resume_via_bridge does), then
+  // kill it too: the new transport's death is a new loss and must be
+  // reported again — fires-at-most-once is per transport, not per channel.
+  const net::NetAddress addr{server_->mac(), Technology::kBluetooth, 999};
+  net::ConnectionPtr server_end;
+  net::ConnectionPtr client_end;
+  testbed_->network().listen(addr, [&](net::ConnectionPtr conn) {
+    server_end = std::move(conn);
+  });
+  testbed_->network().connect(client_->mac(), addr,
+                              [&](Result<net::ConnectionPtr> result) {
+                                if (result.ok()) {
+                                  client_end = std::move(result).value();
+                                }
+                              });
+  testbed_->run_for(10.0);
+  ASSERT_NE(server_end, nullptr);
+  ASSERT_NE(client_end, nullptr);
+
+  channel->replace_connection(client_end);
+  EXPECT_TRUE(channel->open());
+  server_end->close();  // second transport dies
+  testbed_->run_for(5.0);
+  EXPECT_EQ(losses, 2);
+}
+
+TEST_F(TeardownTest, RxDrainSurvivesHandlerDroppingLastReference) {
+  build(9);
+  // Raw transport pair (no channel wrapping it): the client end's only
+  // strong reference is the local holder below.
+  const net::NetAddress addr{server_->mac(), Technology::kBluetooth, 998};
+  net::ConnectionPtr server_end;
+  net::ConnectionPtr client_end;
+  testbed_->network().listen(addr, [&](net::ConnectionPtr conn) {
+    server_end = std::move(conn);
+  });
+  testbed_->network().connect(client_->mac(), addr,
+                              [&](Result<net::ConnectionPtr> result) {
+                                if (result.ok()) {
+                                  client_end = std::move(result).value();
+                                }
+                              });
+  testbed_->run_for(10.0);
+  ASSERT_NE(client_end, nullptr);
+
+  // Buffer several frames with no handler armed...
+  for (int i = 0; i < 3; ++i) {
+    ASSERT_TRUE(server_end->write(Bytes{std::uint8_t(i)}).ok());
+  }
+  testbed_->run_for(5.0);
+  // ...then install a handler that destroys the connection from inside the
+  // drain: the loop must stop without touching the freed object (ASan
+  // guards the assert) and the undrained tail dies with the connection.
+  int seen = 0;
+  client_end->set_data_handler([&](const Bytes&) {
+    ++seen;
+    client_end.reset();
+  });
+  EXPECT_EQ(seen, 1);
+  EXPECT_EQ(client_end, nullptr);
+  testbed_->run_for(5.0);  // the RAII close propagates to the server end
+  EXPECT_FALSE(server_end->open());
+}
+
+TEST(TeardownScenario, BridgeChainMidTransfer) {
+  // a - b - c chain relaying traffic; everything is destroyed with relay
+  // frames in flight and the bridge pair still established. LSan owns the
+  // assert: the relay handlers must not pin the connection pair.
+  auto testbed = std::make_unique<Testbed>(20);
+  testbed->medium().configure(reliable_bluetooth());
+  auto& a = testbed->add_node("a", {0.0, 0.0},
+                              fast_node(MobilityClass::kDynamic));
+  testbed->add_node("b", {8.0, 0.0}, fast_node(MobilityClass::kStatic));
+  auto& c = testbed->add_node("c", {16.0, 0.0},
+                              fast_node(MobilityClass::kStatic));
+  std::vector<ChannelPtr> server_sessions;
+  int echoed = 0;
+  (void)c.library().register_service(
+      ServiceInfo{"echo", "", 0},
+      [&](ChannelPtr channel, const wire::ConnectRequest&) {
+        server_sessions.push_back(channel);
+        channel->set_data_handler([raw = channel.get()](const Bytes& frame) {
+          (void)raw->write(frame);
+        });
+      });
+  testbed->run_discovery_rounds(6);
+
+  auto result = a.connect_blocking(c.mac(), "echo", {}, 300.0);
+  ASSERT_TRUE(result.ok()) << result.error().to_string();
+  const ChannelPtr channel = result.value();
+  channel->set_data_handler([&](const Bytes&) { ++echoed; });
+  for (int i = 0; i < 6; ++i) {
+    ASSERT_TRUE(channel->write(Bytes(32, 0x11)).ok());
+  }
+  // A tick long enough for some frames to cross b but not the full round
+  // trip of all of them — guaranteed in-flight traffic at teardown.
+  testbed->run_for(0.05);
+  testbed.reset();
+  EXPECT_FALSE(channel->open());
+  EXPECT_LT(echoed, 6);
+}
+
+TEST(TeardownScenario, ControllerDestroyedMidHandover) {
+  // The handover controller dies while its resume-via-bridge dial is in
+  // flight; the simulation keeps running long enough for the dial to
+  // resolve against the destroyed controller (token guard, not UAF).
+  Testbed testbed{21};
+  testbed.medium().configure(reliable_bluetooth());
+  auto& a = testbed.add_node("a", {0.0, 0.0},
+                             fast_node(MobilityClass::kDynamic));
+  auto& s = testbed.add_node("s", {4.0, 0.0},
+                             fast_node(MobilityClass::kStatic));
+  testbed.add_node("c", {2.0, 3.0}, fast_node(MobilityClass::kStatic));
+  std::vector<ChannelPtr> server_sessions;
+  (void)s.library().register_service(
+      ServiceInfo{"print", "", 0},
+      [&](ChannelPtr channel, const wire::ConnectRequest&) {
+        server_sessions.push_back(std::move(channel));
+      });
+  testbed.run_discovery_rounds(4);
+
+  auto result = a.connect_blocking(s.mac(), "print");
+  ASSERT_TRUE(result.ok());
+  const ChannelPtr channel = result.value();
+  const double t0 = testbed.sim().now().seconds();
+  channel->connection()->set_quality_override([t0](SimTime now) {
+    return static_cast<int>(250.0 - (now.seconds() - t0));
+  });
+
+  auto controller =
+      std::make_unique<HandoverController>(a.library(), channel, handover::HandoverConfig{});
+  controller->start();
+  // Run until the degradation fires and a route attempt is in flight but
+  // not yet resolved (bridge dialing takes a couple of simulated seconds).
+  const bool attempting = testing::run_until(
+      testbed,
+      [&] {
+        return controller->stats().route_attempts >= 1 &&
+               controller->stats().handovers == 0;
+      },
+      60.0);
+  ASSERT_TRUE(attempting);
+  controller.reset();
+  testbed.run_for(60.0);  // resume resolves against the dead controller
+  SUCCEED();
+}
+
+TEST(TeardownScenario, ControllerDestroyedFromInsideItsOwnEventHandler) {
+  // The documented contract (handler_slot.hpp rule 3): an event handler may
+  // destroy the controller outright — here from inside the monitor tick,
+  // which exercises PeriodicTask's destroy-mid-tick tolerance as well as
+  // emit()'s return-false protocol.
+  Testbed testbed{24};
+  testbed.medium().configure(reliable_bluetooth());
+  auto& a = testbed.add_node("a", {0.0, 0.0},
+                             fast_node(MobilityClass::kDynamic));
+  auto& s = testbed.add_node("s", {4.0, 0.0},
+                             fast_node(MobilityClass::kStatic));
+  testbed.add_node("c", {2.0, 3.0}, fast_node(MobilityClass::kStatic));
+  std::vector<ChannelPtr> server_sessions;
+  (void)s.library().register_service(
+      ServiceInfo{"print", "", 0},
+      [&](ChannelPtr channel, const wire::ConnectRequest&) {
+        server_sessions.push_back(std::move(channel));
+      });
+  testbed.run_discovery_rounds(4);
+
+  auto result = a.connect_blocking(s.mac(), "print");
+  ASSERT_TRUE(result.ok());
+  const ChannelPtr channel = result.value();
+  const double t0 = testbed.sim().now().seconds();
+  channel->connection()->set_quality_override([t0](SimTime now) {
+    return static_cast<int>(250.0 - (now.seconds() - t0));
+  });
+
+  auto controller = std::make_unique<HandoverController>(
+      a.library(), channel, handover::HandoverConfig{});
+  controller->set_event_handler([&](const handover::HandoverEvent& event) {
+    if (event.kind == handover::HandoverEvent::Kind::kDegradationDetected) {
+      controller.reset();  // destroy the controller from inside its tick
+    }
+  });
+  controller->start();
+  testbed.run_for(60.0);
+  EXPECT_EQ(controller, nullptr);
+}
+
+TEST(TeardownScenario, MigrationActorsDestroyedMidFlight) {
+  // TaskClient destroyed mid-upload, TaskServer destroyed while its
+  // result-routing retry chain is still pending; the world keeps running.
+  Testbed testbed{22};
+  testbed.medium().configure(reliable_bluetooth());
+  auto& server = testbed.add_node("server", {5.0, 0.0},
+                                  fast_node(MobilityClass::kStatic));
+  auto& client = testbed.add_node("client", {0.0, 0.0},
+                                  fast_node(MobilityClass::kDynamic));
+  TaskServerConfig server_config;
+  server_config.result_routing.retry_delay = seconds(5.0);
+  auto task_server = std::make_unique<TaskServer>(server.library(),
+                                                  server_config);
+  task_server->start();
+  testbed.run_discovery_rounds(3);
+
+  TaskClientConfig config;
+  config.spec.package_count = 50;
+  config.spec.send_interval = seconds(1.0);
+  config.spec.per_package_processing = milliseconds(100);
+  auto task_client = std::make_unique<TaskClient>(
+      client.library(), server.mac(), "picture.analyse", config);
+  bool done = false;
+  task_client->run([&](const MigrationOutcome&) { done = true; });
+  testbed.run_for(10.0);  // mid-upload
+  ASSERT_FALSE(done);
+  task_client.reset();
+
+  // The server session is now stuck; let its timeout/result path churn,
+  // then kill the server too and keep the simulator running.
+  testbed.run_for(30.0);
+  task_server.reset();
+  testbed.run_for(60.0);
+  SUCCEED();
+}
+
+TEST(TeardownScenario, TestbedDestroyedMidHandshake) {
+  // Connection accepted by the engine, handshake frame still in flight.
+  auto testbed = std::make_unique<Testbed>(23);
+  testbed->medium().configure(reliable_bluetooth());
+  auto& a = testbed->add_node("a", {0.0, 0.0},
+                              fast_node(MobilityClass::kDynamic));
+  auto& b = testbed->add_node("b", {5.0, 0.0},
+                              fast_node(MobilityClass::kStatic));
+  std::vector<ChannelPtr> sessions;
+  (void)b.library().register_service(
+      ServiceInfo{"svc", "", 0},
+      [&](ChannelPtr channel, const wire::ConnectRequest&) {
+        sessions.push_back(std::move(channel));
+      });
+  testbed->run_discovery_rounds(3);
+
+  bool resolved = false;
+  a.library().connect(b.mac(), "svc", {},
+                      [&](Result<ChannelPtr>) { resolved = true; });
+  // Run into the establishment window (connect delay is 0.5-1.0 s): the
+  // PH_CONNECT frame is in flight or freshly pending at the engine.
+  testbed->run_for(0.9);
+  testbed.reset();
+  (void)resolved;  // either way — the point is leak-free teardown
+  SUCCEED();
+}
+
+}  // namespace
+}  // namespace peerhood
