@@ -71,9 +71,14 @@ std::uint64_t ByteReader::u64() {
 }
 
 std::string ByteReader::string() {
+  return std::string{str_view()};
+}
+
+std::string_view ByteReader::str_view() {
   const std::size_t n = u16();
   if (!take(n)) return {};
-  std::string out{reinterpret_cast<const char*>(data_.data() + pos_), n};
+  const std::string_view out{
+      reinterpret_cast<const char*>(data_.data() + pos_), n};
   pos_ += n;
   return out;
 }

@@ -16,6 +16,17 @@ using Bytes = std::vector<std::uint8_t>;
 
 class ByteWriter {
  public:
+  // Pre-sizes the buffer for `n` further bytes. Encoders call this with a
+  // cheap size estimate before each message or repeated sub-record; growth
+  // stays geometric (never below doubling) so a stream of exact-fit
+  // estimates cannot degrade vector growth to per-call reallocations.
+  void reserve(std::size_t n) {
+    const std::size_t need = out_.size() + n;
+    if (need > out_.capacity()) {
+      out_.reserve(std::max(need, out_.capacity() * 2));
+    }
+  }
+
   void u8(std::uint8_t v);
   void u16(std::uint16_t v);
   void u32(std::uint32_t v);
@@ -42,6 +53,11 @@ class ByteReader {
   [[nodiscard]] std::uint32_t u32();
   [[nodiscard]] std::uint64_t u64();
   [[nodiscard]] std::string string();
+  // Zero-copy variant of string(): a view into the underlying buffer, valid
+  // only while that buffer lives. Decode hot paths use it so fields that are
+  // merely compared — or assigned into a std::string that already has the
+  // capacity — never materialise a temporary heap string.
+  [[nodiscard]] std::string_view str_view();
   [[nodiscard]] Bytes blob();
 
   // True iff no read has run past the end of the buffer.

@@ -22,7 +22,16 @@ struct NeighbourSnapshotEntry {
   MacAddress bridge;       // responder's bridge towards it (null if direct)
   int quality_sum{0};      // responder's summed route quality
   int min_link_quality{0}; // responder's weakest route link
+
+  friend bool operator==(const NeighbourSnapshotEntry&,
+                         const NeighbourSnapshotEntry&) = default;
 };
+
+// The advertised form of a whole DeviceStorage: one snapshot entry per
+// record, advertised fields only. This is the payload of the neighbours
+// section; the snapshot cache re-builds it once per storage generation.
+[[nodiscard]] std::vector<NeighbourSnapshotEntry> snapshot_entries(
+    const DeviceStorage& storage);
 
 struct AnalyzerConfig {
   // When false, snapshots only refresh the responder's neighbour-link list —

@@ -42,18 +42,42 @@ bool RoutePolicy::prefer(const DeviceRecord& candidate,
   return candidate.quality_sum > stored.quality_sum;
 }
 
+bool DeviceStorage::advertised_equal(const DeviceRecord& a,
+                                     const DeviceRecord& b) {
+  // Exactly the fields a NeighbourSnapshotEntry ships; liveness bookkeeping
+  // and the neighbour-link list are local-only and must not churn the
+  // generation. KEEP IN SYNC with snapshot_entries() (analyzer.cpp) and
+  // encode_snapshot_entry (protocol.cpp): a field shipped on the wire but
+  // missing here would let the snapshot cache serve stale frames as
+  // kNotModified. tests/test_device_storage.cpp
+  // (GenerationCoversEveryAdvertisedField) flips each field one by one.
+  return a.jump == b.jump && a.bridge == b.bridge &&
+         a.quality_sum == b.quality_sum &&
+         a.min_link_quality == b.min_link_quality && a.device == b.device &&
+         a.prototypes == b.prototypes && a.services == b.services;
+}
+
 bool DeviceStorage::upsert(DeviceRecord record) {
   if (record.jump > policy_.max_jumps) return false;
   const MacAddress mac = record.device.mac;
   const auto it = records_.find(mac);
   if (it == records_.end()) {
     records_.emplace(mac, std::move(record));
+    ++generation_;
     return true;
   }
   DeviceRecord& stored = it->second;
   const bool same_route =
       record.jump == stored.jump && record.bridge == stored.bridge;
   if (same_route || policy_.prefer(record, stored)) {
+    if (!advertised_equal(record, stored)) {
+      ++generation_;
+      // A record that got *worse* (the old content would still win under
+      // the policy) can un-dominate previously rejected candidates, exactly
+      // like a removal: flag it so baselines are dropped and alternatives
+      // re-offered.
+      if (policy_.prefer(stored, record)) ++weakening_gen_;
+    }
     stored = std::move(record);
     return true;
   }
@@ -61,6 +85,33 @@ bool DeviceStorage::upsert(DeviceRecord record) {
   // device proves it exists.
   stored.last_seen = std::max(stored.last_seen, record.last_seen);
   return false;
+}
+
+bool DeviceStorage::touch(MacAddress mac, SimTime now) {
+  const auto it = records_.find(mac);
+  if (it == records_.end()) return false;
+  it->second.last_seen = std::max(it->second.last_seen, now);
+  it->second.missed_loops = 0;
+  return true;
+}
+
+bool DeviceStorage::refresh_direct(MacAddress mac, int quality, SimTime now) {
+  const auto it = records_.find(mac);
+  if (it == records_.end() || !it->second.is_direct()) return false;
+  DeviceRecord& record = it->second;
+  if (record.quality_sum != quality || record.min_link_quality != quality) {
+    // A drop in measured quality weakens the stored route exactly like a
+    // policy-worse upsert: previously rejected alternatives could now win.
+    if (quality < record.quality_sum || quality < record.min_link_quality) {
+      ++weakening_gen_;
+    }
+    record.quality_sum = quality;
+    record.min_link_quality = quality;
+    ++generation_;
+  }
+  record.last_seen = std::max(record.last_seen, now);
+  record.missed_loops = 0;
+  return true;
 }
 
 std::optional<DeviceRecord> DeviceStorage::find(MacAddress mac) const {
@@ -71,6 +122,11 @@ std::optional<DeviceRecord> DeviceStorage::find(MacAddress mac) const {
 
 bool DeviceStorage::contains(MacAddress mac) const {
   return records_.contains(mac);
+}
+
+bool DeviceStorage::contains_direct(MacAddress mac) const {
+  const auto it = records_.find(mac);
+  return it != records_.end() && it->second.is_direct();
 }
 
 std::vector<DeviceRecord> DeviceStorage::snapshot() const {
@@ -97,7 +153,20 @@ std::vector<DeviceRecord> DeviceStorage::providers_of(
   return out;
 }
 
-void DeviceStorage::remove(MacAddress mac) { records_.erase(mac); }
+void DeviceStorage::remove(MacAddress mac) {
+  if (records_.erase(mac) > 0) {
+    ++generation_;
+    ++weakening_gen_;
+  }
+}
+
+void DeviceStorage::clear() {
+  if (!records_.empty()) {
+    ++generation_;
+    ++weakening_gen_;
+  }
+  records_.clear();
+}
 
 std::vector<MacAddress> DeviceStorage::age_direct(
     Technology tech, const std::vector<MacAddress>& responders, int max_missed,
@@ -124,6 +193,8 @@ std::vector<MacAddress> DeviceStorage::age_direct(
     if (record.missed_loops > max_missed) {
       removed.push_back(record.device.mac);
       it = records_.erase(it);
+      ++generation_;
+      ++weakening_gen_;
     } else {
       ++it;
     }
@@ -136,6 +207,8 @@ void DeviceStorage::remove_routes_via(MacAddress bridge) {
   for (auto it = records_.begin(); it != records_.end();) {
     if (!it->second.is_direct() && it->second.bridge == bridge) {
       it = records_.erase(it);
+      ++generation_;
+      ++weakening_gen_;
     } else {
       ++it;
     }
@@ -151,6 +224,8 @@ void DeviceStorage::reconcile_bridge(MacAddress bridge,
     const bool still_known = alive_set.contains(record.device.mac);
     if (via_bridge && !still_known) {
       it = records_.erase(it);
+      ++generation_;
+      ++weakening_gen_;
     } else {
       ++it;
     }

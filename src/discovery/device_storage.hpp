@@ -4,6 +4,7 @@
 // that transform the DeviceStorage into an Ad-hoc routing address table").
 #pragma once
 
+#include <cstdint>
 #include <map>
 #include <optional>
 #include <vector>
@@ -56,20 +57,63 @@ class DeviceStorage {
   // the stored state changed.
   bool upsert(DeviceRecord record);
 
+  // Monotonic content generation: bumped whenever the *advertised* state of
+  // the storage changes (membership, or any field shipped in a neighbourhood
+  // snapshot entry). Liveness bookkeeping (last_seen, missed_loops) and
+  // neighbour-link refreshes do not move it, so an unchanged storage keeps a
+  // stable generation across inquiry rounds — the discovery plane compares
+  // generations for equality to skip re-encoding and re-shipping snapshots.
+  // u32 wraparound is safe: consumers never order generations.
+  [[nodiscard]] std::uint32_t generation() const { return generation_; }
+
+  // Refreshes liveness of `mac` (Fig. 3.12 time stamp) without touching
+  // advertised content — the kNotModified fast path. No generation bump.
+  // Returns false when the device is unknown.
+  bool touch(MacAddress mac, SimTime now);
+
+  // kNotModified still rides a fetch exchange, so the requester re-samples
+  // RSSI (§3.4.1) every round exactly like a full fetch: updates a *direct*
+  // record's measured link quality and liveness in place, bumping the
+  // generation only when the quality actually changed. Returns false when
+  // no direct record exists.
+  bool refresh_direct(MacAddress mac, int quality, SimTime now);
+
+  // Bumped whenever stored state gets *weaker*: a record is removed, or an
+  // upsert replaces one with content the old record would have beaten under
+  // the route policy (same-route refresh after the link degraded).
+  // Integration of a neighbour's snapshot is not a pure function of that
+  // snapshot — either event can make a previously rejected candidate route
+  // win now — so the inquiry loop drops its neighbours-section baselines
+  // whenever this moves and re-fetches full snapshots once, re-offering
+  // every candidate.
+  [[nodiscard]] std::uint32_t weakening_generation() const {
+    return weakening_gen_;
+  }
+
   [[nodiscard]] std::optional<DeviceRecord> find(MacAddress mac) const;
   [[nodiscard]] bool contains(MacAddress mac) const;
+  // True iff a *direct* record for `mac` is stored (no record copy — the
+  // conditional-fetch hot path checks this per request).
+  [[nodiscard]] bool contains_direct(MacAddress mac) const;
   [[nodiscard]] std::size_t size() const { return records_.size(); }
   [[nodiscard]] bool empty() const { return records_.empty(); }
 
   [[nodiscard]] std::vector<DeviceRecord> snapshot() const;
   [[nodiscard]] std::vector<DeviceRecord> direct_neighbours() const;
 
+  // Visits every record (ascending MAC order) without copying — the
+  // snapshot encoder walks the storage once per generation change.
+  template <typename Visitor>
+  void for_each(Visitor&& visit) const {
+    for (const auto& [mac, record] : records_) visit(record);
+  }
+
   // Devices offering `service_name` (used by service reconnection, §5.2.2).
   [[nodiscard]] std::vector<DeviceRecord> providers_of(
       std::string_view service_name) const;
 
   void remove(MacAddress mac);
-  void clear() { records_.clear(); }
+  void clear();
 
   // Ages direct records of `tech`: responders get refreshed timestamps; the
   // others accumulate missed loops and are dropped after `max_missed`.
@@ -90,8 +134,14 @@ class DeviceStorage {
   [[nodiscard]] const RoutePolicy& policy() const { return policy_; }
 
  private:
+  // True iff the two records advertise identically in a snapshot entry.
+  [[nodiscard]] static bool advertised_equal(const DeviceRecord& a,
+                                             const DeviceRecord& b);
+
   RoutePolicy policy_;
   std::map<MacAddress, DeviceRecord> records_;
+  std::uint32_t generation_{1};
+  std::uint32_t weakening_gen_{1};
 };
 
 }  // namespace peerhood

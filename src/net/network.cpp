@@ -11,7 +11,7 @@ namespace peerhood::net {
 namespace {
 
 // Medium-level frame kinds.
-constexpr std::uint8_t kFrameDatagram = 0;
+constexpr std::uint8_t kFrameDatagram = SimNetwork::kDatagramFrameTag;
 constexpr std::uint8_t kFrameData = 1;
 constexpr std::uint8_t kFrameClose = 2;
 
@@ -240,6 +240,13 @@ void SimNetwork::send_datagram(MacAddress from, MacAddress to, Technology tech,
   medium_.send_frame(from, to, tech, std::move(frame));
 }
 
+void SimNetwork::send_datagram(MacAddress from, MacAddress to, Technology tech,
+                               sim::RadioMedium::FramePtr frame) {
+  assert(frame != nullptr && !frame->empty() &&
+         (*frame)[0] == kDatagramFrameTag);
+  medium_.send_frame(from, to, tech, std::move(frame));
+}
+
 void SimNetwork::listen(const NetAddress& address, AcceptHandler handler) {
   listeners_[address] = std::move(handler);
 }
@@ -315,11 +322,11 @@ void SimNetwork::handle_frame(MacAddress local, Technology tech,
   if (kind == kFrameDatagram) {
     const auto it = interfaces_.find(iface_key(local, tech));
     if (it != interfaces_.end() && it->second.datagram_handler) {
-      // Copy before calling: the handler may detach this very interface
+      // Copy the handler before calling: it may detach this very interface
       // (daemon stop from inside a datagram), invalidating the map slot.
+      // The payload itself is handed out as a view — no copy.
       const DatagramHandler handler = it->second.datagram_handler;
-      const Bytes payload{frame.begin() + 1, frame.end()};
-      handler(from, payload);
+      handler(from, std::span{frame.data() + 1, frame.size() - 1});
     }
     return;
   }

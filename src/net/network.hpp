@@ -9,6 +9,7 @@
 #include <functional>
 #include <map>
 #include <memory>
+#include <span>
 
 #include "common/bytes.hpp"
 #include "common/result.hpp"
@@ -24,8 +25,15 @@ class SimNetwork {
  public:
   using AcceptHandler = std::function<void(ConnectionPtr)>;
   using ConnectHandler = std::function<void(Result<ConnectionPtr>)>;
+  // The payload view is valid only for the duration of the call; handlers
+  // decode in place (no per-datagram copy on the receive path).
   using DatagramHandler =
-      std::function<void(MacAddress from, const Bytes& payload)>;
+      std::function<void(MacAddress from, std::span<const std::uint8_t>)>;
+
+  // First byte of every medium frame carrying a datagram. Public so the
+  // discovery snapshot cache can bake the tag into its shared response
+  // buffers and send them through send_datagram(FramePtr) without a copy.
+  static constexpr std::uint8_t kDatagramFrameTag = 0;
 
   explicit SimNetwork(sim::RadioMedium& medium);
   ~SimNetwork();
@@ -44,6 +52,11 @@ class SimNetwork {
                             DatagramHandler handler);
   void send_datagram(MacAddress from, MacAddress to, Technology tech,
                      Bytes payload);
+  // Copy-free variant: `frame` must already start with kDatagramFrameTag
+  // (the sender baked the tag in). Repeated sends of the same frame share
+  // one allocation end to end — the discovery cache's steady-state path.
+  void send_datagram(MacAddress from, MacAddress to, Technology tech,
+                     sim::RadioMedium::FramePtr frame);
 
   // --- Connections ----------------------------------------------------------
   void listen(const NetAddress& address, AcceptHandler handler);

@@ -1,11 +1,25 @@
 #include "peerhood/daemon.hpp"
 
 #include <algorithm>
+#include <atomic>
 #include <cmath>
 
 #include "common/log.hpp"
+#include "sim/inline_callable.hpp"
 
 namespace peerhood {
+namespace {
+
+// Epoch mint: unique across every daemon start in the process (restarting a
+// daemon must invalidate requester baselines), deterministic so fixed-seed
+// scenarios stay reproducible — deliberately not drawn from the simulation
+// RNG, which would shift every stream that follows.
+std::uint64_t mint_epoch(MacAddress mac) {
+  static std::atomic<std::uint64_t> counter{1};
+  return (mac.as_u64() << 20) ^ counter.fetch_add(1);
+}
+
+}  // namespace
 
 Daemon::Daemon(net::SimNetwork& network, MacAddress mac,
                std::shared_ptr<const sim::MobilityModel> mobility,
@@ -19,6 +33,7 @@ Daemon::Daemon(net::SimNetwork& network, MacAddress mac,
       storage_{config_.route_policy},
       analyzer_{mac, AnalyzerConfig{config_.propagate_routes}},
       engine_{network, mac} {
+  cache_.set_caching(config_.snapshot_cache);
   for (const Technology tech : config_.technologies) {
     plugins_.push_back(std::make_unique<Plugin>(*this, tech));
   }
@@ -29,11 +44,12 @@ Daemon::~Daemon() { stop(); }
 void Daemon::start() {
   if (running_) return;
   running_ = true;
+  epoch_ = mint_epoch(self_.mac);
   for (const Technology tech : config_.technologies) {
     network_.attach_interface(self_.mac, tech, mobility_);
     network_.set_datagram_handler(
         self_.mac, tech,
-        [this, tech](MacAddress from, const Bytes& payload) {
+        [this, tech](MacAddress from, std::span<const std::uint8_t> payload) {
           on_datagram(tech, from, payload);
         });
   }
@@ -61,12 +77,16 @@ Status Daemon::register_service(ServiceInfo service) {
   }
   if (service.port == 0) service.port = next_port_++;
   services_.push_back(std::move(service));
+  ++services_gen_;
   return Status::ok_status();
 }
 
 void Daemon::unregister_service(std::string_view name) {
-  std::erase_if(services_,
-                [&](const ServiceInfo& s) { return s.name == name; });
+  if (std::erase_if(services_, [&](const ServiceInfo& s) {
+        return s.name == name;
+      }) > 0) {
+    ++services_gen_;
+  }
 }
 
 Plugin* Daemon::plugin(Technology tech) {
@@ -84,24 +104,32 @@ std::uint64_t Daemon::next_session_id() {
   return (self_.mac.as_u64() << 16) | ++session_counter_;
 }
 
-std::vector<NeighbourSnapshotEntry> Daemon::snapshot_for_advert() const {
-  std::vector<NeighbourSnapshotEntry> entries;
-  for (const DeviceRecord& record : storage_.snapshot()) {
-    NeighbourSnapshotEntry entry;
-    entry.device = record.device;
-    entry.prototypes = record.prototypes;
-    entry.services = record.services;
-    entry.jump = record.jump;
-    entry.bridge = record.bridge;
-    entry.quality_sum = record.quality_sum;
-    entry.min_link_quality = record.min_link_quality;
-    entries.push_back(std::move(entry));
-  }
-  return entries;
+wire::SectionGens Daemon::section_gens() const {
+  wire::SectionGens gens;
+  // Device identity and the technology set are fixed for the daemon's
+  // lifetime; services and the neighbourhood storage carry live counters.
+  gens.device = 1;
+  gens.prototypes = 1;
+  gens.services = services_gen_;
+  gens.neighbours = storage_.generation();
+  return gens;
+}
+
+SnapshotSource Daemon::snapshot_source() const {
+  SnapshotSource src;
+  src.device = &self_;
+  src.prototypes = &config_.technologies;
+  src.services = &services_;
+  src.storage = &storage_;
+  src.gens = section_gens();
+  src.epoch = epoch_;
+  src.load_percent =
+      static_cast<std::uint8_t>(std::lround(load_fraction_ * 100.0));
+  return src;
 }
 
 void Daemon::on_datagram(Technology tech, MacAddress from,
-                         const Bytes& payload) {
+                         std::span<const std::uint8_t> payload) {
   const auto command = wire::peek_command(payload);
   if (!command.has_value()) return;
   switch (*command) {
@@ -110,7 +138,8 @@ void Daemon::on_datagram(Technology tech, MacAddress from,
       if (request.has_value()) answer_fetch(tech, from, *request);
       return;
     }
-    case wire::Command::kFetchResponse: {
+    case wire::Command::kFetchResponse:
+    case wire::Command::kNotModified: {
       const auto response = wire::decode_fetch_response(payload);
       if (!response.has_value()) return;
       if (Plugin* p = plugin(tech)) p->on_fetch_response(from, *response);
@@ -124,33 +153,27 @@ void Daemon::on_datagram(Technology tech, MacAddress from,
 void Daemon::answer_fetch(Technology tech, MacAddress from,
                           const wire::FetchRequest& request) {
   // The short fetch connection costs time on the responder too; a unified
-  // all-sections exchange is one longer connection (§3.4.1).
+  // all-sections exchange is one longer connection (§3.4.1). The reply frame
+  // is resolved *now* (the responder serialises its state when it accepts
+  // the fetch) so the deferred send captures only a shared buffer reference
+  // — at the same generation every requester ships the same allocation.
   const sim::TechnologyParams& params = network_.medium().params(tech);
   const SimDuration cost = request.sections == wire::kSectionAll
                                ? 2 * params.fetch_time
                                : params.fetch_time;
-  const std::uint32_t request_id = request.request_id;
-  const std::uint8_t sections = request.sections;
-  simulator().schedule_after(cost, [this, token = sentinel_.token(), tech,
-                                    from, request_id, sections] {
-    if (token.expired() || !running_) return;
-    wire::FetchResponse response;
-    response.request_id = request_id;
-    response.sections = sections;
-    response.load_percent = static_cast<std::uint8_t>(
-        std::lround(load_fraction_ * 100.0));
-    if ((sections & wire::kSectionDevice) != 0) response.device = self_;
-    if ((sections & wire::kSectionPrototypes) != 0) {
-      response.prototypes = config_.technologies;
-    }
-    if ((sections & wire::kSectionServices) != 0) {
-      response.services = services_;
-    }
-    if ((sections & wire::kSectionNeighbours) != 0) {
-      response.neighbours = snapshot_for_advert();
-    }
-    network_.send_datagram(self_.mac, from, tech, wire::encode(response));
-  });
+  sim::RadioMedium::FramePtr frame = cache_.respond(request, snapshot_source());
+  auto send = [net = &network_, self = self_.mac, from, tech,
+               frame = std::move(frame)] {
+    // No daemon state touched: if the daemon stopped (or died) meanwhile its
+    // interface is detached and the medium drops the frame. Known trade-off
+    // for keeping this closure inline-sized: a stop+start cycle *within*
+    // `cost` re-attaches the interface and lets a pre-stop snapshot out —
+    // it carries the old epoch, so the requester's next conditional fetch
+    // mismatches and corrects itself with a full response.
+    net->send_datagram(self, from, tech, frame);
+  };
+  static_assert(sizeof(send) <= sim::InlineCallable::kInlineSize);
+  simulator().schedule_after(cost, std::move(send));
 }
 
 }  // namespace peerhood

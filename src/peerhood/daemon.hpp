@@ -6,10 +6,10 @@
 
 #include <cstdint>
 #include <memory>
+#include <span>
 #include <string_view>
 #include <vector>
 
-#include "common/handler_slot.hpp"
 #include "common/mac_address.hpp"
 #include "discovery/analyzer.hpp"
 #include "discovery/device_storage.hpp"
@@ -17,6 +17,7 @@
 #include "peerhood/config.hpp"
 #include "peerhood/engine.hpp"
 #include "peerhood/plugin.hpp"
+#include "peerhood/snapshot_cache.hpp"
 #include "sim/mobility.hpp"
 
 namespace peerhood {
@@ -69,14 +70,20 @@ class Daemon {
   // Session-id mint for client-side connections.
   [[nodiscard]] std::uint64_t next_session_id();
 
-  // Builds the neighbourhood snapshot advertised to inquirers.
-  [[nodiscard]] std::vector<NeighbourSnapshotEntry> snapshot_for_advert()
-      const;
+  // --- Discovery-plane versioning ---------------------------------------------
+  // Per-start epoch: a requester whose baseline carries a different epoch is
+  // answered with a full response (its generations are incomparable).
+  [[nodiscard]] std::uint64_t epoch() const { return epoch_; }
+  // Current per-section generations of the advertised snapshot.
+  [[nodiscard]] wire::SectionGens section_gens() const;
+  [[nodiscard]] const SnapshotCache& snapshot_cache() const { return cache_; }
 
  private:
-  void on_datagram(Technology tech, MacAddress from, const Bytes& payload);
+  void on_datagram(Technology tech, MacAddress from,
+                   std::span<const std::uint8_t> payload);
   void answer_fetch(Technology tech, MacAddress from,
                     const wire::FetchRequest& request);
+  [[nodiscard]] SnapshotSource snapshot_source() const;
 
   net::SimNetwork& network_;
   std::shared_ptr<const sim::MobilityModel> mobility_;
@@ -87,13 +94,13 @@ class Daemon {
   Engine engine_;
   std::vector<std::unique_ptr<Plugin>> plugins_;
   std::vector<ServiceInfo> services_;
+  SnapshotCache cache_{net::SimNetwork::kDatagramFrameTag};
+  std::uint64_t epoch_{0};
+  std::uint32_t services_gen_{1};
   double load_fraction_{0.0};
   std::uint16_t next_port_{100};
   std::uint16_t session_counter_{0};
   bool running_{false};
-  // Guards the deferred fetch answers (they capture `this` and are owned by
-  // the event queue, which can outlive a dynamically-destroyed daemon).
-  DestructionSentinel sentinel_;
 };
 
 }  // namespace peerhood

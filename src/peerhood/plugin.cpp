@@ -71,6 +71,20 @@ void Plugin::end_inquiry() {
   sim::RadioMedium& medium = daemon_.network().medium();
   medium.set_inquiring(daemon_.mac(), tech_, false);
 
+  // Integrating a snapshot is not a pure function of the snapshot: a record
+  // removed from — or weakened in — *our* storage since the last cycle can
+  // make a candidate route we previously rejected (dominated by the late
+  // record) win now. Conditional fetch would suppress exactly that
+  // re-offer, so any local weakening drops every neighbours-section
+  // baseline once and the next fetches re-ship full snapshots.
+  const std::uint32_t weakening_gen = daemon_.storage().weakening_generation();
+  if (weakening_gen != storage_weakening_gen_) {
+    storage_weakening_gen_ = weakening_gen;
+    for (auto& [mac, view] : peer_views_) {
+      view.known &= static_cast<std::uint8_t>(~wire::kSectionNeighbours);
+    }
+  }
+
   const std::vector<MacAddress> raw =
       medium.discoverable_in_range(daemon_.mac(), tech_);
   medium.stats().inquiry_responses += raw.size();
@@ -116,8 +130,36 @@ void Plugin::process_next_responder() {
   }
   const FetchJob job = fetch_queue_[fetch_index_++];
   auto done = [this, job](std::optional<wire::FetchResponse> resp) {
+    bool view_consistent = false;
     if (resp.has_value()) {
-      integrate_response(job.target, *resp);
+      if (resp->not_modified) {
+        // Nothing the responder advertises moved since our baseline: skip
+        // the whole analyzer/reconcile pass — re-integrating an identical
+        // snapshot would re-reconcile every bridge route for nothing. The
+        // exchange still happened, so the RSSI sample and the freshness
+        // time stamp (Fig. 3.12) refresh exactly like a full fetch.
+        ++stats_.not_modified;
+        const int quality = sampled_quality(job.target, resp->load_percent);
+        if (quality > 0) {
+          daemon_.storage().refresh_direct(job.target, quality,
+                                           daemon_.simulator().now());
+        } else {
+          // The device answered, so it is alive even if our own position
+          // sample says the link is gone; keep the time stamp fresh.
+          daemon_.storage().touch(job.target, daemon_.simulator().now());
+        }
+        view_consistent = true;  // nothing shipped, nothing to lose
+      } else {
+        view_consistent = integrate_response(job.target, *resp);
+      }
+    }
+    if (!view_consistent) {
+      // The fetch aborted (timeout / spoof / link lost mid-fetch) after
+      // on_fetch_response may already have adopted newer generations from
+      // the parts that did arrive. Keeping that baseline would make the
+      // responder answer kNotModified for content we never integrated —
+      // drop the view so the next fetch is an unconditional full one.
+      peer_views_.erase(job.target);
     }
     process_next_responder();
   };
@@ -143,9 +185,6 @@ void Plugin::fetch_info(MacAddress target, FetchCallback done) {
   // The paper's four short connections (Fig. 3.7), issued sequentially; any
   // failure aborts the whole fetch for this cycle.
   auto state = std::make_shared<SplitState>();
-  constexpr std::uint8_t kOrder[4] = {
-      wire::kSectionDevice, wire::kSectionPrototypes, wire::kSectionServices,
-      wire::kSectionNeighbours};
   auto step = std::make_shared<std::function<void()>>();
   auto shared_done = std::make_shared<FetchCallback>(std::move(done));
   // Ownership of `step` flows through the continuation chain: each section's
@@ -154,14 +193,19 @@ void Plugin::fetch_info(MacAddress target, FetchCallback done) {
   // would be a shared_ptr cycle that leaks the whole chain (state, callbacks)
   // once per split fetch, completed or abandoned.
   std::weak_ptr<std::function<void()>> weak_step = step;
-  *step = [this, target, state, weak_step, shared_done, kOrder, params] {
+  *step = [this, target, state, weak_step, shared_done, params] {
     if (state->next_section == 4) {
-      state->assembled.sections = wire::kSectionAll;
+      // Sections answered kNotModified stay absent from the assembly; the
+      // integration overlays them from the stored record. All four
+      // unchanged collapses to a kNotModified result.
+      if (state->assembled.sections == 0) {
+        state->assembled.not_modified = true;
+      }
       (*shared_done)(state->assembled);
       return;
     }
     const std::uint8_t section =
-        kOrder[static_cast<std::size_t>(state->next_section)];
+        wire::kSectionOrder[static_cast<std::size_t>(state->next_section)];
     ++state->next_section;
     // Always succeeds: whoever invoked *this* function holds a strong ref
     // for the duration of the call.
@@ -185,6 +229,7 @@ void Plugin::fetch_info(MacAddress target, FetchCallback done) {
           if ((part->sections & wire::kSectionNeighbours) != 0) {
             state->assembled.neighbours = part->neighbours;
           }
+          state->assembled.sections |= part->sections;
           state->assembled.load_percent = part->load_percent;
           (*self)();
         });
@@ -211,11 +256,25 @@ void Plugin::fetch_section(MacAddress target, std::uint8_t sections,
     });
     return;
   }
-  const std::uint32_t request_id = next_request_id_++;
-  wire::FetchRequest request{request_id, sections};
+  std::uint32_t request_id = next_request_id_++;
+  if (request_id == wire::kSharedRequestId) request_id = next_request_id_++;
+  wire::FetchRequest request{request_id, sections, std::nullopt};
+  if (daemon_.config().conditional_fetch) {
+    // Attach our last-seen versions when they cover every requested section
+    // *and* we still hold a direct record to overlay absent sections from —
+    // a view that outlived its record must not suppress a full re-fetch.
+    const auto view = peer_views_.find(target);
+    if (view != peer_views_.end() &&
+        (view->second.known & sections) == sections &&
+        daemon_.storage().contains_direct(target)) {
+      request.baseline =
+          wire::FetchBaseline{view->second.epoch, view->second.gens};
+    }
+  }
   daemon_.network().send_datagram(daemon_.mac(), target, tech_,
                                   wire::encode(request));
   PendingFetch pending;
+  pending.target = target;
   pending.request_id = request_id;
   pending.done = std::move(done);
   pending.timeout = sim.schedule_after(cost * 3 + seconds(2.0), [this] {
@@ -228,10 +287,31 @@ void Plugin::fetch_section(MacAddress target, std::uint8_t sections,
   pending_ = std::move(pending);
 }
 
-void Plugin::on_fetch_response(MacAddress /*from*/,
+void Plugin::on_fetch_response(MacAddress from,
                                const wire::FetchResponse& response) {
-  if (!pending_.has_value() || pending_->request_id != response.request_id) {
+  // Shared cached frames cannot echo our id (wire::kSharedRequestId); they
+  // are matched by peer address instead — a response always arrives (if at
+  // all) well inside the pending window, so the address is unambiguous.
+  if (!pending_.has_value() || pending_->target != from) {
+    return;  // stale or unsolicited response
+  }
+  if (response.request_id != pending_->request_id &&
+      response.request_id != wire::kSharedRequestId) {
     return;  // stale or duplicate response
+  }
+  if (!response.not_modified) {
+    // Adopt the responder's versions for the sections it shipped. An epoch
+    // change (responder restart) invalidates everything we knew.
+    PeerView& view = peer_views_[from];
+    if (view.epoch != response.epoch) {
+      view = PeerView{};
+      view.epoch = response.epoch;
+    }
+    for (const std::uint8_t section : wire::kSectionOrder) {
+      if ((response.sections & section) == 0) continue;
+      view.gens.of(section) = response.gens.of(section);
+      view.known |= section;
+    }
   }
   daemon_.simulator().cancel(pending_->timeout);
   FetchCallback cb = std::move(pending_->done);
@@ -239,45 +319,74 @@ void Plugin::on_fetch_response(MacAddress /*from*/,
   cb(response);
 }
 
-void Plugin::integrate_response(MacAddress target,
-                                const wire::FetchResponse& response) {
-  const bool full = (response.sections & wire::kSectionDevice) != 0;
-  if (full && response.device.mac != target) return;  // spoofed
-  sim::RadioMedium& medium = daemon_.network().medium();
+int Plugin::sampled_quality(MacAddress target, std::uint8_t load_percent) {
   // RSSI sampled while the fetch connection was up (§3.4.1).
-  int quality = medium.sample_quality(daemon_.mac(), target, tech_);
-  if (quality <= 0) return;  // responder moved away mid-fetch
+  int quality =
+      daemon_.network().medium().sample_quality(daemon_.mac(), target, tech_);
+  if (quality <= 0) return quality;
   if (daemon_.config().load_derating) {
     // §4: de-rate the advertised quality by the responder's bridge load to
     // steer routes away from bottleneck bridges.
     quality = static_cast<int>(
-        quality * (1.0 - static_cast<double>(response.load_percent) / 100.0));
+        quality * (1.0 - static_cast<double>(load_percent) / 100.0));
     quality = std::max(quality, 1);
   }
+  return quality;
+}
+
+bool Plugin::integrate_response(MacAddress target,
+                                const wire::FetchResponse& response) {
+  const std::uint8_t sections = response.sections;
+  if ((sections & wire::kSectionDevice) != 0 &&
+      response.device.mac != target) {
+    return false;  // spoofed
+  }
+  const int quality = sampled_quality(target, response.load_percent);
+  if (quality <= 0) return false;  // responder moved away mid-fetch
+
+  // Overlay: sections the (delta) response carries come from the wire, the
+  // rest from the stored direct record — absent sections are unchanged by
+  // protocol contract. A delta for a device we no longer hold is dropped;
+  // the next cycle sees it as new and fetches full (no baseline).
+  std::optional<DeviceRecord> stored;
+  if (sections != wire::kSectionAll) {
+    stored = daemon_.storage().find(target);
+    if (!stored.has_value() || !stored->is_direct()) return false;
+  }
+  if (sections != wire::kSectionAll) ++stats_.delta_responses;
 
   DeviceRecord direct;
-  if (full) {
-    direct.device = response.device;
-    direct.prototypes = response.prototypes;
-    direct.services = response.services;
-  } else {
-    // Neighbours-only refresh: keep the stored identity and service list.
-    const auto stored = daemon_.storage().find(target);
-    if (!stored.has_value() || !stored->is_direct()) return;
-    direct.device = stored->device;
-    direct.prototypes = stored->prototypes;
-    direct.services = stored->services;
-  }
+  direct.device = (sections & wire::kSectionDevice) != 0 ? response.device
+                                                         : stored->device;
+  direct.prototypes = (sections & wire::kSectionPrototypes) != 0
+                          ? response.prototypes
+                          : stored->prototypes;
+  direct.services = (sections & wire::kSectionServices) != 0
+                        ? response.services
+                        : stored->services;
   direct.jump = 0;
   direct.route_mobility = 0;
   direct.quality_sum = quality;
   direct.min_link_quality = quality;
   direct.via_tech = tech_;
 
+  if ((sections & wire::kSectionNeighbours) != 0) {
+    stats_.integrations += static_cast<std::uint64_t>(
+        daemon_.analyzer().integrate(daemon_.storage(), std::move(direct),
+                                     response.neighbours, tech_,
+                                     daemon_.simulator().now()));
+    return true;
+  }
+  // Neighbourhood unchanged: refresh the direct record in place — identity,
+  // services and the measured link quality — without the route-propagation
+  // and bridge-reconcile pass (an empty snapshot would wipe every route
+  // learned through this responder).
+  direct.neighbour_links = stored->neighbour_links;
+  direct.last_seen = daemon_.simulator().now();
+  direct.missed_loops = 0;
   stats_.integrations += static_cast<std::uint64_t>(
-      daemon_.analyzer().integrate(daemon_.storage(), std::move(direct),
-                                   response.neighbours, tech_,
-                                   daemon_.simulator().now()));
+      daemon_.storage().upsert(std::move(direct)) ? 1 : 0);
+  return true;
 }
 
 void Plugin::complete_cycle() {
@@ -285,6 +394,9 @@ void Plugin::complete_cycle() {
       tech_, cycle_responders_, daemon_.config().max_missed_loops,
       daemon_.simulator().now());
   stats_.removed_devices += removed.size();
+  // Dropped devices lose their version baselines too: if one comes back it
+  // gets a clean full fetch.
+  for (const MacAddress mac : removed) peer_views_.erase(mac);
   cycle_active_ = false;
   // Jittered rescheduling: inquiry windows must slide relative to the
   // neighbours' windows, otherwise two devices whose windows permanently

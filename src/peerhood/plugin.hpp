@@ -9,6 +9,7 @@
 #include <cstdint>
 #include <functional>
 #include <optional>
+#include <unordered_map>
 #include <vector>
 
 #include "common/handler_slot.hpp"
@@ -31,6 +32,11 @@ class Plugin {
     std::uint64_t fetch_timeouts{0};
     std::uint64_t integrations{0};
     std::uint64_t removed_devices{0};
+    // Conditional-fetch outcome counters: fetches answered kNotModified
+    // (timestamp-touch only, no analyzer pass) and responses integrated
+    // with a partial section set (deltas / neighbours-only refreshes).
+    std::uint64_t not_modified{0};
+    std::uint64_t delta_responses{0};
   };
 
   Plugin(Daemon& daemon, Technology technology);
@@ -64,7 +70,15 @@ class Plugin {
   void fetch_info(MacAddress target, FetchCallback done);
   void fetch_section(MacAddress target, std::uint8_t sections,
                      SimDuration cost, FetchCallback done);
-  void integrate_response(MacAddress target,
+  // Samples the link RSSI to `target` (§3.4.1), de-rated by the responder's
+  // advertised bridge load when configured (§4). <= 0 means out of range.
+  [[nodiscard]] int sampled_quality(MacAddress target,
+                                    std::uint8_t load_percent);
+  // Integrates one (possibly delta) response. False means the response was
+  // dropped (spoof / link lost / stored record gone) — the caller must then
+  // discard the peer's version baseline, since on_fetch_response already
+  // adopted generations this integration failed to apply.
+  bool integrate_response(MacAddress target,
                           const wire::FetchResponse& response);
   void complete_cycle();
   void schedule_next_cycle(SimDuration delay);
@@ -89,12 +103,29 @@ class Plugin {
   std::size_t fetch_index_{0};
 
   struct PendingFetch {
+    MacAddress target;
     std::uint32_t request_id{0};
     sim::EventId timeout{sim::kInvalidEvent};
     FetchCallback done;
   };
   std::optional<PendingFetch> pending_;
+  // Ids are minted from 1: wire::kSharedRequestId marks the responder's
+  // shared cached frames, which are matched by peer address instead.
   std::uint32_t next_request_id_{1};
+
+  // Last-seen responder versions, keyed by peer (the requester half of the
+  // conditional fetch). `known` holds the section bits whose generations are
+  // valid under `epoch`; a baseline is attached to a request only when it
+  // covers every requested section.
+  struct PeerView {
+    std::uint64_t epoch{0};
+    wire::SectionGens gens;
+    std::uint8_t known{0};
+  };
+  std::unordered_map<MacAddress, PeerView> peer_views_;
+  // storage().weakening_generation() as of the last cycle; a move drops
+  // the neighbours baselines above (see end_inquiry).
+  std::uint32_t storage_weakening_gen_{0};
 
   // Split-fetch assembly state.
   struct SplitState {

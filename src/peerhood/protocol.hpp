@@ -28,11 +28,12 @@ namespace peerhood::wire {
 enum class Command : std::uint8_t {
   kFetchRequest = 1,
   kFetchResponse = 2,
-  kConnect = 10,  // PH_CONNECT
-  kBridge = 11,   // PH_BRIDGE
-  kResume = 12,   // connection re-establish
-  kOk = 13,       // PH_OK
-  kFail = 14,     // PH_FAIL
+  kNotModified = 3,  // conditional fetch: nothing changed since the baseline
+  kConnect = 10,     // PH_CONNECT
+  kBridge = 11,      // PH_BRIDGE
+  kResume = 12,      // connection re-establish
+  kOk = 13,          // PH_OK
+  kFail = 14,        // PH_FAIL
 };
 
 // Sections of a fetch request/response; the paper issues four short
@@ -47,17 +48,68 @@ enum Section : std::uint8_t {
 
 // ---------------------------------------------------------------------------
 // Discovery plane.
+//
+// Versioned conditional fetch: the responder stamps every snapshot section
+// with a generation counter and its whole state with a per-start epoch. A
+// requester that has fetched before sends the versions it holds (the
+// baseline); the responder answers kNotModified when nothing moved, or a
+// delta response carrying only the sections whose generation differs.
+// Generations are compared for *equality only* — wraparound and regression
+// are simply "different", so a u32 counter is safe — and an epoch mismatch
+// (responder restarted) always forces a full response.
+
+// Per-section generation counters, one per Section bit.
+struct SectionGens {
+  std::uint32_t device{0};
+  std::uint32_t prototypes{0};
+  std::uint32_t services{0};
+  std::uint32_t neighbours{0};
+
+  [[nodiscard]] std::uint32_t& of(std::uint8_t section_bit);
+  [[nodiscard]] std::uint32_t of(std::uint8_t section_bit) const;
+
+  friend bool operator==(const SectionGens&, const SectionGens&) = default;
+};
+
+// The four section bits in canonical wire order.
+inline constexpr std::uint8_t kSectionOrder[4] = {
+    kSectionDevice, kSectionPrototypes, kSectionServices, kSectionNeighbours};
+
+// The requester's last-seen versions of the responder's state.
+struct FetchBaseline {
+  std::uint64_t epoch{0};
+  SectionGens gens;
+
+  friend bool operator==(const FetchBaseline&, const FetchBaseline&) = default;
+};
+
 struct FetchRequest {
   std::uint32_t request_id{0};
   std::uint8_t sections{kSectionAll};
+  // Present iff the requester holds versions for every requested section.
+  std::optional<FetchBaseline> baseline;
 };
+
+// Cached response frames are shared verbatim between requesters, so they
+// cannot echo a per-request id; they carry kSharedRequestId instead and the
+// requester matches them by peer address. Requesters mint ids from 1.
+inline constexpr std::uint32_t kSharedRequestId = 0;
 
 struct FetchResponse {
   std::uint32_t request_id{0};
+  // Sections present in *this* message. For a delta response this is the
+  // subset of requested sections whose generation moved; absent requested
+  // sections are unchanged and the requester keeps its view of them.
   std::uint8_t sections{0};
   // Responder's bridge occupancy percentage (0-100); used by the optional
   // load-derating of advertised link quality (§4: "bottle neck" avoidance).
   std::uint8_t load_percent{0};
+  std::uint64_t epoch{0};
+  // Generations of the present sections (others are meaningless).
+  SectionGens gens;
+  // Set when the frame was a kNotModified reply (not a wire field of
+  // kFetchResponse; decode_fetch_response accepts both commands).
+  bool not_modified{false};
   DeviceInfo device;
   std::vector<Technology> prototypes;
   std::vector<ServiceInfo> services;
@@ -66,6 +118,10 @@ struct FetchResponse {
 
 [[nodiscard]] Bytes encode(const FetchRequest& request);
 [[nodiscard]] Bytes encode(const FetchResponse& response);
+// As encode(), but appends to `writer` (lets callers prepend framing bytes
+// without a copy; the snapshot cache bakes the net-layer datagram tag in).
+void encode_into(ByteWriter& writer, const FetchRequest& request);
+void encode_into(ByteWriter& writer, const FetchResponse& response);
 
 // ---------------------------------------------------------------------------
 // Connection plane.
@@ -117,13 +173,19 @@ struct Handshake {
 [[nodiscard]] Bytes encode_fail(ErrorCode code, std::string_view message);
 
 // Decoders return nullopt on malformed input (remote peers are untrusted).
-[[nodiscard]] std::optional<Handshake> decode_handshake(const Bytes& frame);
+// They take spans so datagram dispatch can hand out views into the received
+// frame without copying it into a fresh Bytes first.
+[[nodiscard]] std::optional<Handshake> decode_handshake(
+    std::span<const std::uint8_t> frame);
 [[nodiscard]] std::optional<FetchRequest> decode_fetch_request(
-    const Bytes& payload);
+    std::span<const std::uint8_t> payload);
+// Decodes kFetchResponse and kNotModified frames (the latter yields
+// not_modified == true and no sections).
 [[nodiscard]] std::optional<FetchResponse> decode_fetch_response(
-    const Bytes& payload);
+    std::span<const std::uint8_t> payload);
 // Peeks the command byte of a datagram payload.
-[[nodiscard]] std::optional<Command> peek_command(const Bytes& payload);
+[[nodiscard]] std::optional<Command> peek_command(
+    std::span<const std::uint8_t> payload);
 
 // Shared sub-encoders (exposed for tests).
 void encode_device(ByteWriter& writer, const DeviceInfo& device);

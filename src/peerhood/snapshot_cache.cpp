@@ -1,0 +1,114 @@
+#include "peerhood/snapshot_cache.hpp"
+
+#include "discovery/analyzer.hpp"
+
+namespace peerhood {
+
+void SnapshotCache::set_caching(bool enabled) {
+  caching_ = enabled;
+  if (!enabled) {
+    for (CachedFull& slot : full_) slot.frame.reset();
+    not_modified_.reset();
+  }
+}
+
+bool SnapshotCache::sections_equal(std::uint8_t sections,
+                                   const wire::SectionGens& a,
+                                   const wire::SectionGens& b) {
+  for (const std::uint8_t section : wire::kSectionOrder) {
+    if ((sections & section) == 0) continue;
+    if (a.of(section) != b.of(section)) return false;
+  }
+  return true;
+}
+
+SnapshotCache::FramePtr SnapshotCache::encode_frame(
+    const wire::FetchResponse& response) const {
+  ByteWriter writer;
+  if (prefix_.has_value()) writer.u8(*prefix_);
+  wire::encode_into(writer, response);
+  return std::make_shared<const Bytes>(std::move(writer).take());
+}
+
+wire::FetchResponse SnapshotCache::build_response(
+    std::uint8_t sections, const SnapshotSource& src) const {
+  wire::FetchResponse response;
+  response.request_id = wire::kSharedRequestId;
+  response.sections = sections;
+  response.load_percent = src.load_percent;
+  response.epoch = src.epoch;
+  response.gens = src.gens;
+  if ((sections & wire::kSectionDevice) != 0 && src.device != nullptr) {
+    response.device = *src.device;
+  }
+  if ((sections & wire::kSectionPrototypes) != 0 && src.prototypes != nullptr) {
+    response.prototypes = *src.prototypes;
+  }
+  if ((sections & wire::kSectionServices) != 0 && src.services != nullptr) {
+    response.services = *src.services;
+  }
+  if ((sections & wire::kSectionNeighbours) != 0 && src.storage != nullptr) {
+    response.neighbours = snapshot_entries(*src.storage);
+  }
+  return response;
+}
+
+SnapshotCache::FramePtr SnapshotCache::respond(
+    const wire::FetchRequest& request, const SnapshotSource& src) {
+  const std::uint8_t sections =
+      static_cast<std::uint8_t>(request.sections & wire::kSectionAll);
+  if (request.baseline.has_value() && request.baseline->epoch == src.epoch) {
+    // Conditional fetch against a live baseline: ship only what moved.
+    std::uint8_t changed = 0;
+    for (const std::uint8_t section : wire::kSectionOrder) {
+      if ((sections & section) == 0) continue;
+      if (request.baseline->gens.of(section) != src.gens.of(section)) {
+        changed |= section;
+      }
+    }
+    if (changed == 0) {
+      ++stats_.not_modified;
+      if (caching_ && not_modified_ != nullptr &&
+          not_modified_load_ == src.load_percent) {
+        return not_modified_;
+      }
+      wire::FetchResponse response;
+      response.not_modified = true;
+      response.request_id = wire::kSharedRequestId;
+      response.load_percent = src.load_percent;
+      FramePtr frame = encode_frame(response);
+      if (caching_) {
+        not_modified_ = frame;
+        not_modified_load_ = src.load_percent;
+      }
+      return frame;
+    }
+    // Deltas are requester-specific (they depend on the baseline), so they
+    // are encoded afresh and can echo the real request id.
+    ++stats_.deltas;
+    wire::FetchResponse response = build_response(changed, src);
+    response.request_id = request.request_id;
+    return encode_frame(response);
+  }
+
+  // Full response: no baseline, or the responder restarted since the
+  // requester last looked (epoch mismatch — generations are incomparable).
+  CachedFull& slot = full_[sections];
+  if (caching_ && slot.frame != nullptr && slot.epoch == src.epoch &&
+      slot.load_percent == src.load_percent &&
+      sections_equal(sections, slot.gens, src.gens)) {
+    ++stats_.full_hits;
+    return slot.frame;
+  }
+  ++stats_.full_encodes;
+  FramePtr frame = encode_frame(build_response(sections, src));
+  if (caching_) {
+    slot.frame = frame;
+    slot.gens = src.gens;
+    slot.epoch = src.epoch;
+    slot.load_percent = src.load_percent;
+  }
+  return frame;
+}
+
+}  // namespace peerhood

@@ -54,24 +54,41 @@ void RadioMedium::register_endpoint(
   Endpoint endpoint;
   endpoint.mac = mac;
   endpoint.tech = tech;
+  endpoint.is_static = mobility->is_static();
   endpoint.mobility = std::move(mobility);
   endpoint.handler = std::move(handler);
+  TechState& ts = state(tech);
+  {
+    // Re-registration may swap the mobility model; retire the old entry's
+    // mobile-list slot first (the map node — and thus the pointer — is
+    // reused by insert_or_assign below).
+    const auto existing = endpoints_.find(key(mac, tech));
+    if (existing != endpoints_.end() && !existing->second.is_static) {
+      std::erase(ts.mobiles, &existing->second);
+    }
+  }
   const auto [it, inserted] =
       endpoints_.insert_or_assign(key(mac, tech), std::move(endpoint));
-  // Keep a current grid consistent incrementally; a stale grid is rebuilt
-  // wholesale on the next query anyway.
-  TechState& ts = state(tech);
-  if (ts.grid_gen == position_gen_) {
-    ts.grid.insert(mac.as_u64(), cached_position(it->second), &it->second);
+  if (!it->second.is_static) ts.mobiles.push_back(&it->second);
+  // A built grid (current or stale) is maintained incrementally: a stale one
+  // is only ever *refreshed* on the next query, so every registered endpoint
+  // must already have an entry.
+  if (ts.grid_gen != 0) {
+    const Vec2 at = cached_position(it->second);
+    ts.grid.insert(mac.as_u64(), at, &it->second);
+    it->second.grid_position = at;
   }
   (void)inserted;
 }
 
 void RadioMedium::unregister_endpoint(MacAddress mac, Technology tech) {
-  if (endpoints_.erase(key(mac, tech)) > 0) {
-    // Always evict: a current grid must never hold a dangling payload.
-    state(tech).grid.remove(mac.as_u64());
-  }
+  const auto it = endpoints_.find(key(mac, tech));
+  if (it == endpoints_.end()) return;
+  TechState& ts = state(tech);
+  if (!it->second.is_static) std::erase(ts.mobiles, &it->second);
+  endpoints_.erase(it);
+  // Always evict: the grid must never hold a dangling payload.
+  ts.grid.remove(mac.as_u64());
 }
 
 bool RadioMedium::has_endpoint(MacAddress mac, Technology tech) const {
@@ -91,7 +108,11 @@ RadioMedium::Endpoint* RadioMedium::find(MacAddress mac, Technology tech) {
 
 Vec2 RadioMedium::cached_position(const Endpoint& endpoint) const {
   if (endpoint.cached_gen != position_gen_) {
-    endpoint.cached_position = endpoint.mobility->position_at(sim_.now());
+    // Static endpoints are sampled exactly once (cached_gen 0): their model
+    // returns the same point forever, so only the tag needs refreshing.
+    if (!endpoint.is_static || endpoint.cached_gen == 0) {
+      endpoint.cached_position = endpoint.mobility->position_at(sim_.now());
+    }
     endpoint.cached_gen = position_gen_;
   }
   return endpoint.cached_position;
@@ -99,16 +120,44 @@ Vec2 RadioMedium::cached_position(const Endpoint& endpoint) const {
 
 void RadioMedium::ensure_grid(TechState& ts) const {
   if (ts.grid_gen == position_gen_) return;
-  // Rebuild every stale grid in one pass over the endpoint map, so a tick
-  // that queries several technologies still pays a single O(N) scan.
+  // Bring every stale grid current in (at most) one pass over the endpoint
+  // map, so a tick that queries several technologies still pays one scan.
+  //
+  // Three per-technology regimes:
+  //  * never built / params changed (grid_gen 0): wholesale rebuild — the
+  //    only case that walks the whole endpoint map (one pass for all such
+  //    technologies);
+  //  * built, but no mobile endpoints: nothing can have moved — revalidate
+  //    in O(1) without touching any endpoint;
+  //  * built with mobiles: refresh the per-tech mobile list only — statics
+  //    are never visited, and of the mobiles only ones whose position
+  //    actually changed touch their cells (same-cell moves just rewrite the
+  //    stored point).
+  bool full_rebuild = false;
   for (TechState& stale : tech_) {
-    if (stale.grid_gen != position_gen_) stale.grid.clear();
+    if (stale.grid_gen == position_gen_) continue;
+    if (stale.grid_gen == 0) {
+      stale.grid.clear();
+      full_rebuild = true;
+    }
   }
-  for (const auto& [k, endpoint] : endpoints_) {
-    TechState& owner = tech_[tech_index(endpoint.tech)];
-    if (owner.grid_gen == position_gen_) continue;
-    owner.grid.insert(endpoint.mac.as_u64(), cached_position(endpoint),
-                      &endpoint);
+  if (full_rebuild) {
+    for (const auto& [k, endpoint] : endpoints_) {
+      TechState& owner = tech_[tech_index(endpoint.tech)];
+      if (owner.grid_gen != 0) continue;
+      const Vec2 at = cached_position(endpoint);
+      owner.grid.insert(endpoint.mac.as_u64(), at, &endpoint);
+      endpoint.grid_position = at;
+    }
+  }
+  for (TechState& stale : tech_) {
+    if (stale.grid_gen == position_gen_ || stale.grid_gen == 0) continue;
+    for (const Endpoint* endpoint : stale.mobiles) {
+      const Vec2 fresh = cached_position(*endpoint);
+      if (fresh == endpoint->grid_position) continue;
+      stale.grid.update(endpoint->mac.as_u64(), fresh);
+      endpoint->grid_position = fresh;
+    }
   }
   for (TechState& stale : tech_) stale.grid_gen = position_gen_;
 }

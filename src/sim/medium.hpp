@@ -149,17 +149,33 @@ class RadioMedium {
     bool discoverable{true};
     bool inquiring{false};
     bool peerhood_tag{true};
+    // Static endpoints are sampled once and never re-indexed: the grid
+    // refresh skips them entirely (mobility->is_static() at registration).
+    bool is_static{false};
     // Position memoised against position_gen_; recomputed at most once per
     // distinct SimTime no matter how many queries touch this endpoint.
     mutable Vec2 cached_position{};
     mutable std::uint64_t cached_gen{0};
+    // The position this endpoint's grid entry currently holds — the grid
+    // refresh compares against it, so point queries that re-sample the
+    // cache between refreshes cannot desynchronise the index.
+    mutable Vec2 grid_position{};
   };
 
   struct TechState {
     TechnologyParams params{};
     SpatialGrid grid{1.0};
-    // position_gen_ value the grid was built against; 0 = needs rebuild.
+    // position_gen_ value the grid was built against; 0 = needs a full
+    // rebuild (params changed / never built). A stale non-zero grid is
+    // refreshed incrementally: only mobile endpoints are revisited (and of
+    // those, only ones whose position moved touch their cells), so a
+    // technology with no mobile endpoints revalidates in O(1) and a mostly
+    // static deployment pays O(mobiles), not O(endpoints), per query tick.
     std::uint64_t grid_gen{0};
+    // Registered endpoints whose mobility model is not static — the only
+    // ones the incremental refresh must look at. Pointers stay valid:
+    // endpoints_ is a node-stable map.
+    std::vector<const Endpoint*> mobiles;
   };
 
   using Key = std::pair<std::uint64_t, std::uint8_t>;  // (mac, tech)
@@ -177,8 +193,10 @@ class RadioMedium {
 
   [[nodiscard]] Vec2 cached_position(const Endpoint& endpoint) const;
   [[nodiscard]] TechState& state(Technology tech) const;
-  // Rebuilds all stale technology grids (single pass over the endpoints);
-  // no-op when `ts`'s grid is already current.
+  // Brings all stale technology grids current (single pass over the
+  // endpoints); no-op when `ts`'s grid is already current. Never-built grids
+  // are rebuilt wholesale, built ones refreshed incrementally (moved
+  // endpoints only).
   void ensure_grid(TechState& ts) const;
   // In-range endpoints other than `origin`, ascending MAC order.
   void collect_in_range(const Endpoint& origin, TechState& ts,

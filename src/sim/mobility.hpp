@@ -18,6 +18,12 @@ class MobilityModel {
   virtual ~MobilityModel() = default;
 
   [[nodiscard]] virtual Vec2 position_at(SimTime t) const = 0;
+
+  // True iff position_at returns the same point for every t. The radio
+  // medium skips re-sampling (and re-indexing) static endpoints when the
+  // clock advances, so a mostly-static deployment pays grid maintenance
+  // only for the endpoints that actually move.
+  [[nodiscard]] virtual bool is_static() const { return false; }
 };
 
 // Fixed device (the paper's "static" terminals: PCs, servers).
@@ -26,6 +32,7 @@ class StaticPosition final : public MobilityModel {
   explicit StaticPosition(Vec2 position) : position_{position} {}
 
   [[nodiscard]] Vec2 position_at(SimTime) const override { return position_; }
+  [[nodiscard]] bool is_static() const override { return true; }
 
  private:
   Vec2 position_;

@@ -1,5 +1,6 @@
 #include "sim/spatial_grid.hpp"
 
+#include <algorithm>
 #include <cassert>
 #include <cmath>
 
@@ -39,6 +40,31 @@ void SpatialGrid::insert(std::uint64_t id, Vec2 position,
                                      cell_coord(position.y));
   cells_[key].push_back(Entry{id, position, payload});
   index_.emplace(id, key);
+}
+
+bool SpatialGrid::update(std::uint64_t id, Vec2 position) {
+  const auto indexed = index_.find(id);
+  if (indexed == index_.end()) return false;
+  const std::uint64_t new_key = cell_key(cell_coord(position.x),
+                                         cell_coord(position.y));
+  const auto bucket = cells_.find(indexed->second);
+  assert(bucket != cells_.end());
+  std::vector<Entry>& entries = bucket->second;
+  const auto entry = std::find_if(entries.begin(), entries.end(),
+                                  [&](const Entry& e) { return e.id == id; });
+  assert(entry != entries.end());
+  if (new_key == indexed->second) {
+    entry->position = position;
+    return true;
+  }
+  Entry moved = *entry;
+  moved.position = position;
+  *entry = entries.back();
+  entries.pop_back();
+  if (entries.empty()) cells_.erase(bucket);
+  cells_[new_key].push_back(moved);
+  indexed->second = new_key;
+  return true;
 }
 
 bool SpatialGrid::remove(std::uint64_t id) {

@@ -39,6 +39,12 @@ class SpatialGrid {
   // Returns false when the id is not in the grid. Removal does not need the
   // position: the grid remembers each entry's cell.
   bool remove(std::uint64_t id);
+  // Moves an existing entry to `position`, keeping its payload. When the new
+  // position lands in the same cell only the stored point is rewritten — no
+  // bucket churn — which makes the per-tick refresh of a moving endpoint
+  // O(bucket) instead of a remove+insert pair. Returns false when the id is
+  // not in the grid.
+  bool update(std::uint64_t id, Vec2 position);
 
   // Calls `visit(const Entry&)` for every entry in the 3x3 cell block around
   // `origin` — a superset of all entries within cell_size() of it. The exact

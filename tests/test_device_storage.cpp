@@ -183,6 +183,173 @@ TEST(DeviceStorage, RemoveRoutesVia) {
   EXPECT_TRUE(storage.contains(MacAddress::from_index(6)));
 }
 
+TEST(DeviceStorage, GenerationTracksAdvertisedContentOnly) {
+  DeviceStorage storage;
+  const std::uint32_t start = storage.generation();
+
+  // Membership changes bump.
+  EXPECT_TRUE(storage.upsert(direct(1, 250)));
+  EXPECT_NE(storage.generation(), start);
+  const std::uint32_t after_insert = storage.generation();
+
+  // Re-upserting identical advertised content refreshes liveness only.
+  DeviceRecord same = direct(1, 250);
+  same.last_seen = at(9.0);
+  same.neighbour_links = {{MacAddress::from_index(7), 200}};
+  EXPECT_TRUE(storage.upsert(std::move(same)));
+  EXPECT_EQ(storage.generation(), after_insert)
+      << "liveness/neighbour-link refresh must not churn the generation";
+
+  // A quality change is advertised content: bump.
+  EXPECT_TRUE(storage.upsert(direct(1, 240)));
+  EXPECT_NE(storage.generation(), after_insert);
+  const std::uint32_t after_quality = storage.generation();
+
+  // Rejected worse route: no bump.
+  EXPECT_FALSE(storage.upsert(routed(1, 2, 3, 100, 100)));
+  EXPECT_EQ(storage.generation(), after_quality);
+
+  // Removal bumps both counters.
+  const std::uint32_t removal = storage.weakening_generation();
+  storage.remove(MacAddress::from_index(1));
+  EXPECT_NE(storage.generation(), after_quality);
+  EXPECT_NE(storage.weakening_generation(), removal);
+
+  // Removing a non-existent record bumps nothing.
+  const std::uint32_t gen = storage.generation();
+  storage.remove(MacAddress::from_index(42));
+  EXPECT_EQ(storage.generation(), gen);
+}
+
+TEST(DeviceStorage, GenerationCoversEveryAdvertisedField) {
+  // Every field a NeighbourSnapshotEntry ships must, when changed alone,
+  // move the generation — otherwise the snapshot cache would serve stale
+  // frames as kNotModified. Mirrors the field list in advertised_equal /
+  // snapshot_entries / encode_snapshot_entry.
+  const auto base = [] {
+    DeviceRecord r = direct(1, 250);
+    r.device.name = "n1";
+    r.device.checksum = 5;
+    r.device.mobility = MobilityClass::kStatic;
+    r.prototypes = {Technology::kBluetooth};
+    r.services = {{"svc", "", 2}};
+    return r;
+  };
+  const auto expect_bump = [&](auto mutate, const char* what) {
+    DeviceStorage storage;
+    ASSERT_TRUE(storage.upsert(base()));
+    const std::uint32_t gen = storage.generation();
+    DeviceRecord changed = base();
+    mutate(changed);
+    ASSERT_TRUE(storage.upsert(std::move(changed))) << what;
+    EXPECT_NE(storage.generation(), gen) << what;
+  };
+  expect_bump([](DeviceRecord& r) { r.device.name = "renamed"; },
+              "device.name");
+  expect_bump([](DeviceRecord& r) { r.device.checksum = 99; },
+              "device.checksum");
+  expect_bump([](DeviceRecord& r) { r.device.mobility = MobilityClass::kHybrid; },
+              "device.mobility");
+  expect_bump([](DeviceRecord& r) { r.prototypes.push_back(Technology::kWlan); },
+              "prototypes");
+  expect_bump([](DeviceRecord& r) { r.services.push_back({"extra", "", 3}); },
+              "services");
+  expect_bump([](DeviceRecord& r) { r.quality_sum = 100; }, "quality_sum");
+  expect_bump([](DeviceRecord& r) { r.min_link_quality = 100; },
+              "min_link_quality");
+  // jump/bridge change the route identity (different-route upsert paths)
+  // and are covered by the insert/replace tests above.
+}
+
+TEST(DeviceStorage, WeakeningGenerationTracksDegradationAndRemoval) {
+  DeviceStorage storage;
+  ASSERT_TRUE(storage.upsert(direct(1, 250)));
+  const std::uint32_t after_insert = storage.weakening_generation();
+
+  // Same-route refresh with *better* quality: content changed, nothing got
+  // weaker — previously rejected candidates cannot newly win.
+  EXPECT_TRUE(storage.upsert(direct(1, 255)));
+  EXPECT_EQ(storage.weakening_generation(), after_insert);
+
+  // Same-route refresh with *worse* quality: a rejected alternative could
+  // now beat the stored route, so baselines must be invalidated.
+  EXPECT_TRUE(storage.upsert(direct(1, 200)));
+  EXPECT_NE(storage.weakening_generation(), after_insert);
+  const std::uint32_t after_weaken = storage.weakening_generation();
+
+  // Identical content: no movement.
+  EXPECT_TRUE(storage.upsert(direct(1, 200)));
+  EXPECT_EQ(storage.weakening_generation(), after_weaken);
+
+  // The kNotModified fast path (refresh_direct) follows the same rule:
+  // quality up — not a weakening; quality down — weakening.
+  EXPECT_TRUE(storage.refresh_direct(MacAddress::from_index(1), 220, at(1.0)));
+  EXPECT_EQ(storage.weakening_generation(), after_weaken);
+  EXPECT_TRUE(storage.refresh_direct(MacAddress::from_index(1), 180, at(2.0)));
+  EXPECT_NE(storage.weakening_generation(), after_weaken);
+}
+
+TEST(DeviceStorage, AgingRefreshKeepsGenerationStable) {
+  DeviceStorage storage;
+  ASSERT_TRUE(storage.upsert(direct(1, 250)));
+  ASSERT_TRUE(storage.upsert(direct(2, 250)));
+  const std::uint32_t gen = storage.generation();
+
+  // Everyone responds: timestamps refresh, nothing advertised changes.
+  const std::vector<MacAddress> responders{MacAddress::from_index(1),
+                                           MacAddress::from_index(2)};
+  EXPECT_TRUE(
+      storage.age_direct(Technology::kBluetooth, responders, 3, at(1.0))
+          .empty());
+  EXPECT_EQ(storage.generation(), gen);
+
+  // A missed loop (no removal yet) still does not change advertised state.
+  EXPECT_TRUE(storage
+                  .age_direct(Technology::kBluetooth,
+                              {MacAddress::from_index(1)}, 3, at(2.0))
+                  .empty());
+  EXPECT_EQ(storage.generation(), gen);
+
+  // The eventual drop does.
+  for (int i = 0; i < 4; ++i) {
+    storage.age_direct(Technology::kBluetooth, {MacAddress::from_index(1)}, 3,
+                       at(3.0 + i));
+  }
+  EXPECT_FALSE(storage.contains(MacAddress::from_index(2)));
+  EXPECT_NE(storage.generation(), gen);
+}
+
+TEST(DeviceStorage, TouchRefreshesLivenessWithoutGenerationBump) {
+  DeviceStorage storage;
+  DeviceRecord record = direct(1, 250);
+  record.last_seen = at(1.0);
+  record.missed_loops = 2;
+  ASSERT_TRUE(storage.upsert(std::move(record)));
+  const std::uint32_t gen = storage.generation();
+
+  EXPECT_TRUE(storage.touch(MacAddress::from_index(1), at(5.0)));
+  EXPECT_FALSE(storage.touch(MacAddress::from_index(9), at(5.0)));
+  EXPECT_EQ(storage.generation(), gen);
+
+  const auto found = storage.find(MacAddress::from_index(1));
+  ASSERT_TRUE(found.has_value());
+  EXPECT_EQ(found->last_seen, at(5.0));
+  EXPECT_EQ(found->missed_loops, 0);
+
+  // touch never rolls a newer timestamp back.
+  EXPECT_TRUE(storage.touch(MacAddress::from_index(1), at(2.0)));
+  EXPECT_EQ(storage.find(MacAddress::from_index(1))->last_seen, at(5.0));
+}
+
+TEST(DeviceStorage, ContainsDirect) {
+  DeviceStorage storage;
+  ASSERT_TRUE(storage.upsert(direct(1, 250)));
+  ASSERT_TRUE(storage.upsert(routed(2, 1, 1, 400, 235)));
+  EXPECT_TRUE(storage.contains_direct(MacAddress::from_index(1)));
+  EXPECT_FALSE(storage.contains_direct(MacAddress::from_index(2)));
+  EXPECT_FALSE(storage.contains_direct(MacAddress::from_index(3)));
+}
+
 TEST(DeviceRecord, ServiceLookup) {
   DeviceRecord record = direct(1, 250);
   record.services = {{"echo", "", 1}};

@@ -224,5 +224,132 @@ TEST(DiscoveryIntegration, PropagationDelayGrowsWithHops) {
       << "distant nodes must learn strictly later (delay = jumps x cycle)";
 }
 
+// --- Conditional fetch / delta plane (PR 4) ---------------------------------
+
+// A noise-free link model: static topologies reach a fixed point, so the
+// discovery plane must settle into kNotModified steady state.
+sim::LinkQualityModel noise_free_quality() {
+  sim::LinkQualityModel model;
+  model.noise = 0.0;
+  return model;
+}
+
+TEST(DiscoveryDelta, DeltaPlaneConvergesLikeFullFetch) {
+  // Two identically-seeded worlds, one with the conditional-fetch plane and
+  // the snapshot cache, one with the paper's always-full fetch. The
+  // discovery outcome must be identical.
+  constexpr int kNodes = 5;
+  auto build = [&](bool delta) {
+    auto testbed = std::make_unique<Testbed>(11, noise_free_quality());
+    testbed->medium().configure(reliable_bluetooth());
+    for (int i = 0; i < kNodes; ++i) {
+      node::NodeOptions options = fast_node(MobilityClass::kStatic);
+      options.daemon.conditional_fetch = delta;
+      options.daemon.snapshot_cache = delta;
+      testbed->add_node("n" + std::to_string(i), {8.0 * i, 0.0}, options);
+    }
+    testbed->run_discovery_rounds(kNodes + 4);
+    return testbed;
+  };
+  const auto with_delta = build(true);
+  const auto with_full = build(false);
+  for (int i = 0; i < kNodes; ++i) {
+    const std::string name = "n" + std::to_string(i);
+    const auto delta_view =
+        with_delta->node(name).daemon().storage().snapshot();
+    const auto full_view = with_full->node(name).daemon().storage().snapshot();
+    ASSERT_EQ(delta_view.size(), full_view.size()) << name;
+    for (std::size_t r = 0; r < delta_view.size(); ++r) {
+      EXPECT_EQ(delta_view[r].device, full_view[r].device) << name;
+      EXPECT_EQ(delta_view[r].jump, full_view[r].jump) << name;
+      EXPECT_EQ(delta_view[r].bridge, full_view[r].bridge) << name;
+      EXPECT_EQ(delta_view[r].quality_sum, full_view[r].quality_sum) << name;
+      EXPECT_EQ(delta_view[r].services, full_view[r].services) << name;
+    }
+  }
+}
+
+TEST(DiscoveryDelta, SteadyStateSettlesIntoNotModified) {
+  Testbed testbed{12, noise_free_quality()};
+  testbed.medium().configure(reliable_bluetooth());
+  for (int i = 0; i < 3; ++i) {
+    testbed.add_node("n" + std::to_string(i), {8.0 * i, 0.0},
+                     fast_node(MobilityClass::kStatic));
+  }
+  testbed.run_discovery_rounds(8);
+
+  auto& mid = testbed.node("n1");
+  const std::uint32_t settled_gen = mid.daemon().storage().generation();
+  const std::size_t settled_size = mid.daemon().storage().size();
+  const auto before = mid.daemon().plugin(Technology::kBluetooth)->stats();
+
+  testbed.run_discovery_rounds(4);
+
+  const auto after = mid.daemon().plugin(Technology::kBluetooth)->stats();
+  EXPECT_GT(after.not_modified, before.not_modified)
+      << "an unchanged neighbourhood must be answered kNotModified";
+  // The kNotModified path refreshes timestamps only — no analyzer /
+  // reconcile pass, so the storage content generation must not move and
+  // nothing may be aged out.
+  EXPECT_EQ(mid.daemon().storage().generation(), settled_gen);
+  EXPECT_EQ(mid.daemon().storage().size(), settled_size);
+  // And the responder side serves those rounds from the shared cache.
+  const auto& cache_stats = testbed.node("n0").daemon().snapshot_cache().stats();
+  EXPECT_GT(cache_stats.not_modified, 0u);
+}
+
+TEST(DiscoveryDelta, ServiceChangePropagatesThroughDeltas) {
+  Testbed testbed{13, noise_free_quality()};
+  testbed.medium().configure(reliable_bluetooth());
+  testbed.add_node("a", {0.0, 0.0}, fast_node(MobilityClass::kStatic));
+  testbed.add_node("b", {8.0, 0.0}, fast_node(MobilityClass::kStatic));
+  auto& a = testbed.node("a");
+  auto& b = testbed.node("b");
+  testbed.run_discovery_rounds(4);
+  ASSERT_TRUE(a.daemon().storage().contains(b.mac()));
+
+  // A new service bumps only the services generation; the requester must
+  // pick it up via a delta (the full-fetch recheck interval is 5 s here, so
+  // give it a couple of rounds).
+  ASSERT_TRUE(b.daemon().register_service(ServiceInfo{"fresh.svc", "", 0}).ok());
+  ASSERT_TRUE(testing::run_until(
+      testbed,
+      [&] {
+        const auto record = a.daemon().storage().find(b.mac());
+        return record.has_value() && record->provides("fresh.svc");
+      },
+      120.0))
+      << "service change must reach the requester through the delta plane";
+}
+
+TEST(DiscoveryDelta, ResponderRestartInvalidatesBaselines) {
+  Testbed testbed{14, noise_free_quality()};
+  testbed.medium().configure(reliable_bluetooth());
+  testbed.add_node("a", {0.0, 0.0}, fast_node(MobilityClass::kStatic));
+  testbed.add_node("b", {8.0, 0.0}, fast_node(MobilityClass::kStatic));
+  auto& a = testbed.node("a");
+  auto& b = testbed.node("b");
+  testbed.run_discovery_rounds(6);
+  ASSERT_TRUE(a.daemon().storage().contains(b.mac()));
+
+  // Restart b with different services: its generations regress and its epoch
+  // changes. a's stale baseline must be ignored (full response), never
+  // misread as "not modified".
+  const std::uint64_t old_epoch = b.daemon().epoch();
+  b.daemon().stop();
+  ASSERT_TRUE(
+      b.daemon().register_service(ServiceInfo{"after.restart", "", 0}).ok());
+  b.daemon().start();
+  EXPECT_NE(b.daemon().epoch(), old_epoch);
+  ASSERT_TRUE(testing::run_until(
+      testbed,
+      [&] {
+        const auto record = a.daemon().storage().find(b.mac());
+        return record.has_value() && record->provides("after.restart");
+      },
+      200.0))
+      << "restart must force full refetch despite matching generations";
+}
+
 }  // namespace
 }  // namespace peerhood

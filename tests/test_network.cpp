@@ -297,8 +297,9 @@ TEST_F(NetworkTest, DatagramsRouteToHandler) {
   Bytes got;
   MacAddress got_from;
   net_.set_datagram_handler(b, Technology::kBluetooth,
-                            [&](MacAddress from, const Bytes& payload) {
-                              got = payload;
+                            [&](MacAddress from,
+                                std::span<const std::uint8_t> payload) {
+                              got.assign(payload.begin(), payload.end());
                               got_from = from;
                             });
   net_.send_datagram(a, b, Technology::kBluetooth, Bytes{5, 5, 5});

@@ -37,6 +37,68 @@ TEST(Protocol, FetchRequestRoundTrip) {
   ASSERT_TRUE(decoded.has_value());
   EXPECT_EQ(decoded->request_id, 77u);
   EXPECT_EQ(decoded->sections, kSectionDevice | kSectionNeighbours);
+  EXPECT_FALSE(decoded->baseline.has_value());
+}
+
+TEST(Protocol, FetchRequestBaselineRoundTrip) {
+  FetchRequest request{78, kSectionAll};
+  SectionGens gens;
+  gens.device = 1;
+  gens.prototypes = 2;
+  gens.services = 0xffffffffu;  // wraparound values are plain payload
+  gens.neighbours = 940;
+  request.baseline = FetchBaseline{0xabcdef0123456789ull, gens};
+  const auto decoded = decode_fetch_request(encode(request));
+  ASSERT_TRUE(decoded.has_value());
+  ASSERT_TRUE(decoded->baseline.has_value());
+  EXPECT_EQ(*decoded->baseline, *request.baseline);
+}
+
+TEST(Protocol, NotModifiedRoundTrip) {
+  FetchResponse response;
+  response.not_modified = true;
+  response.request_id = 5;
+  response.load_percent = 61;
+  const Bytes frame = encode(response);
+  EXPECT_EQ(peek_command(frame), Command::kNotModified);
+  const auto decoded = decode_fetch_response(frame);
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_TRUE(decoded->not_modified);
+  EXPECT_EQ(decoded->request_id, 5u);
+  EXPECT_EQ(decoded->load_percent, 61);
+  EXPECT_EQ(decoded->sections, 0);
+}
+
+TEST(Protocol, ResponseCarriesEpochAndSectionGens) {
+  FetchResponse response;
+  response.request_id = 12;
+  response.sections = kSectionServices | kSectionNeighbours;
+  response.epoch = 0x1122334455667788ull;
+  response.gens.services = 7;
+  response.gens.neighbours = 0xffffffffu;
+  response.services = {{"svc", "", 3}};
+  const auto decoded = decode_fetch_response(encode(response));
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(decoded->epoch, response.epoch);
+  EXPECT_EQ(decoded->gens.services, 7u);
+  EXPECT_EQ(decoded->gens.neighbours, 0xffffffffu);
+  EXPECT_EQ(decoded->services, response.services);
+  EXPECT_FALSE(decoded->not_modified);
+}
+
+TEST(Protocol, RequestRejectsUnknownSectionBits) {
+  Bytes frame = encode(FetchRequest{3, kSectionAll});
+  frame[5] = 0x90;  // sections byte: unknown high bits
+  EXPECT_FALSE(decode_fetch_request(frame).has_value());
+}
+
+TEST(Protocol, ResponseRejectsUnknownSectionBits) {
+  FetchResponse response;
+  response.sections = kSectionDevice;
+  response.device = sample_device(2);
+  Bytes frame = encode(response);
+  frame[5] = 0x90;  // sections byte: unknown high bits
+  EXPECT_FALSE(decode_fetch_response(frame).has_value());
 }
 
 TEST(Protocol, FetchResponseFullRoundTrip) {

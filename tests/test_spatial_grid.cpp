@@ -61,6 +61,32 @@ TEST(SpatialGrid, BlockCoversRadiusIncludingNegativeCells) {
   EXPECT_EQ(ids, (std::vector<std::uint64_t>{1, 2, 3, 4, 5}));
 }
 
+TEST(SpatialGrid, UpdateMovesEntryAcrossCells) {
+  SpatialGrid grid{10.0};
+  EXPECT_FALSE(grid.update(7, {1.0, 1.0}));  // unknown id
+  int payload = 0;
+  grid.insert(7, {0.0, 0.0}, &payload);
+
+  // Same-cell move: position rewritten in place.
+  EXPECT_TRUE(grid.update(7, {3.0, 4.0}));
+  bool seen = false;
+  grid.visit_block({0.0, 0.0}, [&](const SpatialGrid::Entry& e) {
+    seen = true;
+    EXPECT_EQ(e.position, (Vec2{3.0, 4.0}));
+    EXPECT_EQ(e.payload, &payload);
+  });
+  EXPECT_TRUE(seen);
+
+  // Cross-cell move: old bucket emptied, payload carried along.
+  EXPECT_TRUE(grid.update(7, {500.0, 500.0}));
+  EXPECT_TRUE(block_ids(grid, {0.0, 0.0}).empty());
+  EXPECT_EQ(block_ids(grid, {500.0, 500.0}), std::vector<std::uint64_t>{7});
+  grid.visit_block({500.0, 500.0}, [&](const SpatialGrid::Entry& e) {
+    EXPECT_EQ(e.payload, &payload);
+  });
+  EXPECT_EQ(grid.size(), 1u);
+}
+
 TEST(SpatialGrid, SetCellSizeClears) {
   SpatialGrid grid{10.0};
   grid.insert(1, {0.0, 0.0}, nullptr);
@@ -128,6 +154,53 @@ TEST_F(GridParityTest, RandomizedMovingNodesManySimTimes) {
     expect_parity(Technology::kBluetooth);
     expect_parity(Technology::kWlan);
   }
+}
+
+TEST_F(GridParityTest, PointQueriesBetweenTicksDoNotDesyncTheGrid) {
+  // position_of / in_range re-sample the position cache without refreshing
+  // the grid; the incremental refresh must still detect the move (it
+  // compares against the entry's recorded grid position, not the cache).
+  const MacAddress mover =
+      add(1, std::make_shared<LinearMotion>(Vec2{0.0, 0.0}, Vec2{2.0, 0.0}));
+  add(2, std::make_shared<StaticPosition>(Vec2{9.0, 0.0}));
+  add(3, std::make_shared<StaticPosition>(Vec2{30.0, 0.0}));
+  expect_parity(Technology::kBluetooth);  // grid built at t=0
+  for (int step = 0; step < 12; ++step) {
+    sim_.run_until(sim_.now() + seconds(2.0));
+    // Point query first: refreshes the mover's cached position only.
+    (void)medium_.position_of(mover, Technology::kBluetooth);
+    (void)medium_.distance(mover, MacAddress::from_index(3),
+                           Technology::kBluetooth);
+    // Neighbour query second: the incremental refresh must move the entry.
+    expect_parity(Technology::kBluetooth);
+  }
+}
+
+TEST_F(GridParityTest, AllStaticDeploymentStaysExact) {
+  // With no mobile endpoints the stale grid revalidates in O(1); results
+  // must still match the brute oracle at every time step, including around
+  // register/unregister while time advances.
+  Rng rng = sim_.fork_rng();
+  for (std::uint64_t i = 1; i <= 40; ++i) {
+    add(i, std::make_shared<StaticPosition>(
+               Vec2{rng.uniform(-40.0, 40.0), rng.uniform(-40.0, 40.0)}));
+  }
+  for (int step = 0; step < 6; ++step) {
+    sim_.run_until(sim_.now() + seconds(1.0));
+    expect_parity(Technology::kBluetooth);
+  }
+  medium_.unregister_endpoint(MacAddress::from_index(7),
+                              Technology::kBluetooth);
+  macs_[static_cast<std::size_t>(Technology::kBluetooth)].erase(
+      std::remove(macs_[static_cast<std::size_t>(Technology::kBluetooth)]
+                      .begin(),
+                  macs_[static_cast<std::size_t>(Technology::kBluetooth)]
+                      .end(),
+                  MacAddress::from_index(7)),
+      macs_[static_cast<std::size_t>(Technology::kBluetooth)].end());
+  sim_.run_until(sim_.now() + seconds(1.0));
+  add(41, std::make_shared<StaticPosition>(Vec2{0.0, 0.0}));
+  expect_parity(Technology::kBluetooth);
 }
 
 TEST_F(GridParityTest, NodeExactlyAtRangeIsIncluded) {
