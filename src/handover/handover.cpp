@@ -3,6 +3,8 @@
 #include <algorithm>
 
 #include "common/log.hpp"
+#include "net/network.hpp"
+#include "peerhood/daemon.hpp"
 
 namespace peerhood::handover {
 
@@ -16,11 +18,16 @@ void HandoverController::start() {
   state_ = HandoverState::kPrepare;
   refresh_plan();
   state_ = HandoverState::kMonitor;
+  if (config_.predictive_enabled) subscribe_link();
   monitor_.start(library_.daemon().simulator(), config_.monitor_period,
                  [this] { tick(); }, config_.monitor_period);
 }
 
-void HandoverController::stop() { monitor_.stop(); }
+void HandoverController::stop() {
+  monitor_.stop();
+  disarm_predictor();
+  unsubscribe_link();
+}
 
 std::optional<MacAddress> HandoverController::planned_bridge() const {
   if (plan_.empty()) return std::nullopt;
@@ -59,8 +66,12 @@ void HandoverController::refresh_plan() {
         record.neighbour_links.begin(), record.neighbour_links.end(),
         [peer](const NeighbourLink& l) { return l.mac == peer; });
     if (link == record.neighbour_links.end()) continue;
-    // Route strength = the weakest of self->bridge and bridge->peer.
-    const int score = std::min(record.quality_sum, link->quality);
+    // Route strength = the weakest of self->bridge and bridge->peer, minus
+    // the §3.4.3 mobility cost of the bridge: a relay moving with us is
+    // likely to lose the peer exactly when we do.
+    const int score = std::min(record.quality_sum, link->quality) -
+                      config_.bridge_mobility_penalty *
+                          mobility_cost(record.device.mobility);
     plan_.push_back(RouteCandidate{record.device.mac, score});
   }
   // Fallback: the storage's own (possibly multi-hop) route towards the
@@ -73,8 +84,14 @@ void HandoverController::refresh_plan() {
           return c.bridge == peer_record->bridge;
         });
     if (!already_planned) {
-      plan_.push_back(
-          RouteCandidate{peer_record->bridge, peer_record->min_link_quality});
+      int score = peer_record->min_link_quality;
+      const auto bridge_record =
+          library_.daemon().storage().find(peer_record->bridge);
+      if (bridge_record.has_value()) {
+        score -= config_.bridge_mobility_penalty *
+                 mobility_cost(bridge_record->device.mobility);
+      }
+      plan_.push_back(RouteCandidate{peer_record->bridge, score});
     }
   }
   std::sort(plan_.begin(), plan_.end(),
@@ -83,12 +100,166 @@ void HandoverController::refresh_plan() {
             });
 }
 
+// --- Predictive layer --------------------------------------------------------
+
+void HandoverController::subscribe_link() {
+  unsubscribe_link();
+  if (channel_ == nullptr || channel_->connection() == nullptr) return;
+  const net::NetAddress local = channel_->connection()->local_address();
+  const net::NetAddress remote = channel_->connection()->remote_address();
+  sim::QualityObserverConfig config;
+  config.threshold = config_.quality_threshold + config_.predict_headroom;
+  config.hysteresis = config_.hysteresis;
+  config.min_interval = config_.quality_eval_interval;
+  sim::RadioMedium& medium = library_.daemon().network().medium();
+  observer_ = medium.observe_quality(
+      local.mac, remote.mac, remote.tech, config,
+      [this, token = sentinel_.token()](const sim::LinkQualityEvent& event) {
+        if (token.expired()) return;
+        on_quality_event(event);
+      });
+  // The observer's edge detector primes silently: if the link is *already*
+  // inside the arming band at subscription (connected near the edge, or a
+  // post-handover hop that starts degraded), kFell will never fire — arm
+  // the predictor directly.
+  const sim::LinkQualityEvent probe =
+      medium.probe_link(local.mac, remote.mac, remote.tech);
+  if (probe.quality > 0 && probe.quality < config.threshold && !busy_) {
+    arm_predictor();
+  }
+}
+
+void HandoverController::unsubscribe_link() {
+  if (observer_ == sim::kInvalidQualityObserver) return;
+  library_.daemon().network().medium().unobserve_quality(observer_);
+  observer_ = sim::kInvalidQualityObserver;
+}
+
+double HandoverController::setup_estimate_s() const {
+  if (config_.bridge_setup_estimate > SimDuration{0}) {
+    return std::chrono::duration<double>(config_.bridge_setup_estimate)
+        .count();
+  }
+  // Worst-case establishment of a §4.1 bridge chain: the PH_OK travels back
+  // only after *two* hops re-established (self->bridge, bridge->peer), each
+  // paying the per-hop connect delay — the §4.3 measurement this whole
+  // plane exists to outrun.
+  Technology tech = Technology::kBluetooth;
+  if (channel_ != nullptr && channel_->connection() != nullptr) {
+    tech = channel_->connection()->remote_address().tech;
+  }
+  return 2.0 *
+         library_.daemon().network().medium().params(tech).connect_delay_max_s;
+}
+
+void HandoverController::on_quality_event(const sim::LinkQualityEvent& event) {
+  ++stats_.quality_events;
+  using Edge = sim::LinkQualityEvent::Edge;
+  switch (event.edge) {
+    case Edge::kFell:
+      // Below threshold: start tracking time-to-loss. The first check runs
+      // on this event's own measurements.
+      if (!busy_ && channel_ != nullptr && channel_->open()) {
+        arm_predictor();
+        predict_check();
+      }
+      break;
+    case Edge::kRose:
+      disarm_predictor();
+      low_count_ = 0;
+      break;
+    case Edge::kLost:
+      // Coverage gone — prediction missed (or never had a mobility signal).
+      link_lost_since_dial_ = true;
+      disarm_predictor();
+      if (!busy_ && channel_ != nullptr && channel_->sending()) {
+        ++stats_.degradations;
+        if (!emit(HandoverEvent{HandoverEvent::Kind::kDegradationDetected, {},
+                                nullptr, "link left coverage"})) {
+          return;  // handler destroyed the controller
+        }
+        execute();
+      }
+      break;
+    case Edge::kRestored:
+      break;
+  }
+}
+
+void HandoverController::arm_predictor() {
+  if (predictor_.running()) return;
+  predictor_.start(library_.daemon().simulator(), config_.predict_poll_period,
+                   [this] { predict_check(); }, config_.predict_poll_period);
+}
+
+void HandoverController::disarm_predictor() { predictor_.stop(); }
+
+void HandoverController::predict_check() {
+  if (busy_ || channel_ == nullptr || !channel_->open()) {
+    disarm_predictor();
+    return;
+  }
+  const net::ConnectionPtr& conn = channel_->connection();
+  if (conn == nullptr) return;
+  const net::NetAddress local = conn->local_address();
+  const net::NetAddress remote = conn->remote_address();
+  sim::RadioMedium& medium = library_.daemon().network().medium();
+  const sim::LinkQualityEvent probe =
+      medium.probe_link(local.mac, remote.mac, remote.tech);
+  if (probe.quality > config_.quality_threshold + config_.predict_headroom +
+                          config_.hysteresis) {
+    // Recovered (defensive double-check of the kRose edge).
+    disarm_predictor();
+    return;
+  }
+  if (probe.quality == 0) {
+    // Already dead at the model level; treat as a missed prediction — the
+    // reactive path (kLost event / monitor tick) repairs it.
+    return;
+  }
+  if (probe.radial_speed_mps <= 1e-6) return;  // not separating
+  // §5.3: while the application is idle the loss does not matter — keep
+  // watching silently (the predictor stays armed so repair resumes the
+  // moment the sending flag comes back).
+  if (!channel_->sending()) return;
+  const double range = medium.params(remote.tech).range_m;
+  const double time_to_loss =
+      (range - probe.distance_m) / probe.radial_speed_mps;
+  if (time_to_loss > setup_estimate_s() * config_.setup_margin) return;
+  // Pre-dialing only makes sense onto a route that does not share the dying
+  // first hop: resuming "via" the hop we are already on replaces the
+  // connection with an identical path. Terminal loss with no alternative
+  // (and §5.2.2 reconnection) stays with the reactive path.
+  if (!config_.routing_enabled) return;
+  refresh_plan();
+  std::erase_if(plan_, [hop = remote.mac](const RouteCandidate& c) {
+    return c.bridge == hop;
+  });
+  if (plan_.empty()) return;  // keep watching; nothing better to dial
+  // Make-before-break window open: pre-dial the best bridge now, swap while
+  // the old link is still alive.
+  disarm_predictor();
+  ++stats_.predictions;
+  ++stats_.degradations;
+  predicted_ = true;
+  link_lost_since_dial_ = false;
+  if (!emit(HandoverEvent{
+          HandoverEvent::Kind::kPredictedLoss, {}, nullptr,
+          "predicted loss in " + std::to_string(time_to_loss) + " s"})) {
+    return;  // handler destroyed the controller
+  }
+  execute();
+}
+
+// --- Reactive loop (the paper's Fig. 5.5, kept as fallback) ------------------
+
 void HandoverController::tick() {
   if (busy_) return;
   // Keep the plan fresh: the neighbourhood changes while the device moves.
   refresh_plan();
 
   if (!channel_->open()) {
+    link_lost_since_dial_ = true;
     // The link died before (or despite) soft handover.
     if (!channel_->sending()) {
       ++stats_.suppressed;
@@ -129,6 +300,7 @@ void HandoverController::execute() {
     // §5.3: the application finished sending; repair would be wasted work —
     // the server will route the result back itself.
     ++stats_.suppressed;
+    predicted_ = false;
     (void)emit(HandoverEvent{HandoverEvent::Kind::kRepairSuppressed, {},
                              nullptr, "sending flag cleared"});
     return;  // nothing below touches members — destruction-safe either way
@@ -141,6 +313,7 @@ void HandoverController::execute() {
     start_reconnection();
   } else {
     busy_ = false;
+    predicted_ = false;
     state_ = HandoverState::kFailed;
     if (!emit(HandoverEvent{HandoverEvent::Kind::kGaveUp, {}, nullptr,
                             "no routing plan and reconnection disabled"})) {
@@ -155,14 +328,17 @@ void HandoverController::attempt_route(std::size_t candidate_index) {
       plan_.size(), static_cast<std::size_t>(config_.max_route_attempts));
   if (candidate_index >= limit) {
     ++stats_.route_failures;
+    predicted_ = false;
     if (config_.reconnection_enabled && !channel_->open()) {
       start_reconnection();
       return;
     }
     // Connection still alive: stay in monitor state and hope for recovery
-    // or a better plan on the next tick.
+    // or a better plan on the next tick. Re-arm the predictor — the link is
+    // still degrading and kFell will not fire again while below threshold.
     busy_ = false;
     state_ = HandoverState::kMonitor;
+    if (config_.predictive_enabled && channel_->open()) arm_predictor();
     return;
   }
   const MacAddress bridge = plan_[candidate_index].bridge;
@@ -175,9 +351,18 @@ void HandoverController::attempt_route(std::size_t candidate_index) {
         if (token.expired()) return;
         if (status.ok()) {
           ++stats_.handovers;
+          if (predicted_ && !link_lost_since_dial_) {
+            // The swap completed with the old transport still alive —
+            // a genuine make-before-break, no outage window.
+            ++stats_.predictive_handovers;
+          }
+          predicted_ = false;
           busy_ = false;
           low_count_ = 0;
           state_ = HandoverState::kMonitor;
+          // Traffic now flows through the bridge: move the observer to the
+          // link the device can actually sense (self -> bridge hop).
+          if (config_.predictive_enabled) subscribe_link();
           (void)emit(HandoverEvent{HandoverEvent::Kind::kHandoverComplete,
                                    bridge, nullptr,
                                    "rerouted via " + bridge.to_string()});
@@ -194,6 +379,7 @@ void HandoverController::attempt_route(std::size_t candidate_index) {
 
 void HandoverController::start_reconnection() {
   state_ = HandoverState::kReconnecting;
+  predicted_ = false;
   // §5.2.2: ask the user before restarting the task on another provider.
   // The grant may arrive asynchronously, long after this controller died —
   // hence the sentinel token.

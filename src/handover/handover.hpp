@@ -1,19 +1,33 @@
-// HandoverController — the paper's HandoverThread (Fig. 5.5) as a scheduled
-// task with the three states of §5.2.1:
-//   state 0 (prepare): search the daemon's device list for the connected
-//     address inside each direct neighbour's neighbour list and remember the
-//     best-quality alternative route;
-//   state 1 (monitor): sample link quality every period; more than
-//     `low_count_limit` consecutive samples below `quality_threshold` (230)
-//     mean degradation;
-//   state 2 (execute): create a bridge connection through the stored route
-//     and substitute the old connection (the ChangeConnection callback is
-//     Channel's handover handler).
-// When routing handover is impossible or exhausted, fall back to service
-// reconnection (§5.2.2) — connect to another provider of the same service,
-// with the user's permission, restarting the application task. The §5.3
-// `sending` flag suppresses all repair while the application is idle waiting
-// for a result.
+// HandoverController — the §5.2 handover plane as an event-driven engine.
+//
+// The seed implementation was the paper's HandoverThread (Fig. 5.5)
+// verbatim: poll link quality once per second and react after
+// `low_count_limit` consecutive bad samples — by which time the corridor
+// walker of Fig. 5.4 has already lost the link, so every handover is an
+// outage. This engine keeps that reactive loop as the fallback and layers a
+// *predictive make-before-break* path on top of the medium's push-based
+// quality plane:
+//
+//  * On start the controller subscribes a quality observer on the current
+//    transport link (RadioMedium::observe_quality). The medium pushes
+//    threshold/coverage crossings — no steady-state polling.
+//  * A kFell crossing (quality under threshold, hysteresis-guarded) arms a
+//    fast predictor that tracks the link's distance and radial speed
+//    (RadioMedium::probe_link) and estimates time-to-loss = remaining
+//    coverage / separation speed.
+//  * When predicted loss is nearer than the estimated bridge establishment
+//    latency (× margin), the engine pre-dials the best RouteCandidate
+//    bridge — the §5.2.1 re-routing, but *before* the link dies — and the
+//    session's connection is swapped while the old link is still alive
+//    (make-before-break). The §4.1 chain machinery (and PR 3's HalfOpenDial
+//    ownership) is reused unchanged via Library::resume_via_bridge.
+//  * If prediction misses (link dies first, or quality collapses without a
+//    mobility signal — e.g. the artificial decay of Fig. 5.8), the reactive
+//    monitor still detects degradation / loss and repairs it, falling back
+//    to §5.2.2 service reconnection when no route exists.
+//
+// The §5.3 `sending` flag suppresses all repair while the application is
+// idle waiting for a result, exactly as before.
 #pragma once
 
 #include <cstdint>
@@ -24,21 +38,50 @@
 
 #include "common/handler_slot.hpp"
 #include "peerhood/library.hpp"
+#include "sim/medium.hpp"
 #include "sim/simulator.hpp"
 
 namespace peerhood::handover {
 
 struct HandoverConfig {
+  // --- Reactive (paper) parameters -----------------------------------------
   int quality_threshold{230};
   int low_count_limit{3};
   SimDuration monitor_period{std::chrono::seconds{1}};
   // Routing-handover attempts (distinct bridges) before falling back.
   int max_route_attempts{2};
+  // Plan scoring: quality units subtracted per §3.4.3 mobility-cost unit of
+  // the bridge ({static,hybrid,dynamic} = {0,1,3}). A mobile bridge whose
+  // own link is about to die with ours (e.g. a fellow group member walking
+  // the same corridor) must lose to a weaker but static relay even when its
+  // advertised neighbour qualities are a full inquiry cycle stale — hence a
+  // penalty larger than the stale-quality spread (~60 units for dynamic).
+  int bridge_mobility_penalty{20};
   // Disables routing handover entirely (hard-handover baseline: reconnect
   // to another provider only — the Fig. 5.3 behaviour).
   bool routing_enabled{true};
   bool reconnection_enabled{true};
   SimDuration resume_timeout{std::chrono::seconds{30}};
+
+  // --- Predictive make-before-break layer ----------------------------------
+  bool predictive_enabled{true};
+  // The observer arms the predictor this many quality units *above* the
+  // reactive threshold: early warning, so a slow bridge chain can still be
+  // pre-dialed before the link reaches the edge.
+  int predict_headroom{10};
+  // Hysteresis band for the quality observer (kRose needs threshold +
+  // hysteresis, so a hovering link cannot chatter).
+  int hysteresis{5};
+  // Observer rate limit: the medium re-evaluates the link at most this
+  // often, however many events advance the clock.
+  SimDuration quality_eval_interval{std::chrono::milliseconds{100}};
+  // Cadence of the armed predictor between crossing events.
+  SimDuration predict_poll_period{std::chrono::milliseconds{250}};
+  // Estimated bridge establishment latency. zero() = derive from the link's
+  // technology parameters (worst-case per-hop connect delay) at start.
+  SimDuration bridge_setup_estimate{SimDuration{0}};
+  // Pre-dial when predicted time-to-loss < estimate × margin.
+  double setup_margin{1.3};
 };
 
 enum class HandoverState {
@@ -53,6 +96,7 @@ enum class HandoverState {
 struct HandoverEvent {
   enum class Kind {
     kDegradationDetected,
+    kPredictedLoss,      // make-before-break pre-dial started
     kHandoverComplete,   // same session re-routed through `bridge`
     kHandoverFailed,     // one bridge attempt failed
     kReconnected,        // new session on another provider (`new_channel`)
@@ -82,6 +126,10 @@ class HandoverController {
     std::uint64_t route_failures{0};
     std::uint64_t reconnections{0};
     std::uint64_t suppressed{0};
+    // Predictive layer.
+    std::uint64_t quality_events{0};       // observer pushes received
+    std::uint64_t predictions{0};          // pre-dial sequences started
+    std::uint64_t predictive_handovers{0}; // swaps with the old link alive
   };
 
   HandoverController(Library& library, ChannelPtr channel,
@@ -119,6 +167,15 @@ class HandoverController {
   void attempt_route(std::size_t candidate_index);
   void start_reconnection();
 
+  // Predictive layer.
+  void subscribe_link();    // (re-)observe the current transport link
+  void unsubscribe_link();  // idempotent
+  void on_quality_event(const sim::LinkQualityEvent& event);
+  void arm_predictor();
+  void disarm_predictor();
+  void predict_check();
+  [[nodiscard]] double setup_estimate_s() const;
+
   Library& library_;
   ChannelPtr channel_;
   HandoverConfig config_;
@@ -130,6 +187,13 @@ class HandoverController {
   PermissionCallback permission_;
   Stats stats_;
   bool busy_{false};
+  // Predictive state: observer handle, the armed fast predictor, and
+  // whether the in-flight execute() was started by prediction with the old
+  // link still alive when the swap completes.
+  sim::QualityObserverId observer_{sim::kInvalidQualityObserver};
+  sim::PeriodicTask predictor_;
+  bool predicted_{false};
+  bool link_lost_since_dial_{false};
   // Guards the in-flight resume/reconnect callbacks (they capture `this`
   // and may resolve after this controller is destroyed).
   DestructionSentinel sentinel_;

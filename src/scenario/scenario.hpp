@@ -1,0 +1,226 @@
+// Declarative scenario subsystem: a ScenarioSpec describes node groups
+// (count + mobility mix), registered services, client->server sessions with
+// traffic shapes and handover policies; a ScenarioRunner assembles the full
+// PeerHood stack on a Testbed, drives the run, and measures the handover
+// plane — outage time, frames lost, handover latency, control overhead —
+// so benches and tests stop hand-rolling topologies.
+//
+// See src/scenario/README.md for the spec vocabulary and the canned
+// scenarios (corridor / office / group / churn) used by the bench matrix.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "handover/handover.hpp"
+#include "node/testbed.hpp"
+#include "sim/mobility.hpp"
+
+namespace peerhood::scenario {
+
+// How a node (or every member of a group) moves. For kGroup the member
+// follows the group's shared reference model (NodeGroup::group_reference)
+// at its formation offset plus a bounded random deviation.
+struct MobilitySpec {
+  enum class Kind {
+    kStatic,
+    kLinear,
+    kWaypoints,
+    kRandomWaypoint,
+    kGaussMarkov,
+    kGroup,
+    kTrace,
+  };
+
+  Kind kind{Kind::kStatic};
+  // Start position (kStatic / kLinear) or initial position inside the area
+  // models. Group members ignore it (placement = reference + offset).
+  sim::Vec2 start{};
+  sim::Vec2 velocity{};                                // kLinear
+  SimTime departure{};                                 // kLinear
+  std::vector<sim::WaypointPath::Waypoint> waypoints;  // kWaypoints
+  std::string trace;                                   // kTrace (trace text)
+  sim::RandomWaypoint::Config random_waypoint{};
+  sim::GaussMarkov::Config gauss_markov{};
+  sim::GroupMember::Config group{};
+
+  // Instantiates the model. `offset` shifts the start (for kGroup it is the
+  // member's formation offset from the reference); `reference` is required
+  // for kGroup; `rng` seeds the stochastic models (each member should get a
+  // forked stream).
+  [[nodiscard]] std::shared_ptr<const sim::MobilityModel> build(
+      Rng rng, sim::Vec2 offset = {},
+      std::shared_ptr<const sim::MobilityModel> reference = nullptr) const;
+};
+
+// Parses a waypoint trace: one "<seconds> <x> <y>" triple per line,
+// '#'-comments and blank lines ignored, timestamps non-decreasing.
+// The scenario layer's trace-driven loader — recorded walks (or ns-2-style
+// exports converted to this form) replay as WaypointPath models.
+[[nodiscard]] Result<std::vector<sim::WaypointPath::Waypoint>>
+parse_waypoint_trace(std::string_view text);
+// Same, from a file on disk.
+[[nodiscard]] Result<std::vector<sim::WaypointPath::Waypoint>>
+load_waypoint_trace(const std::string& path);
+
+struct NodeGroup {
+  std::string prefix;  // members are named prefix0, prefix1, ...
+  int count{1};
+  MobilityClass mobility_class{MobilityClass::kStatic};
+  MobilitySpec mobility{};
+  // Reference (centre) model shared by all members when mobility.kind is
+  // kGroup.
+  MobilitySpec group_reference{};
+  // Per-member start offset: member i starts at mobility.start + spacing*i
+  // (ignored by kGroup members, whose formation offset it becomes).
+  sim::Vec2 spacing{};
+  // Services registered (and advertised) on every member.
+  std::vector<std::string> services;
+  // Member daemons periodically stop and restart (ScenarioSpec::churn_*).
+  bool churn{false};
+};
+
+struct TrafficSpec {
+  double message_interval_s{1.0};
+  std::size_t message_bytes{32};
+};
+
+struct SessionSpec {
+  std::string client;   // node name (e.g. "walker0")
+  std::string server;   // node name
+  std::string service;  // must be registered on the server's group
+  TrafficSpec traffic{};
+  bool handover{true};
+  handover::HandoverConfig handover_config{};
+};
+
+struct ScenarioSpec {
+  std::string name;
+  std::uint64_t seed{1};
+  std::optional<sim::TechnologyParams> radio;  // configure() when set
+  sim::LinkQualityModel quality_model{};
+  std::vector<NodeGroup> groups;
+  std::vector<SessionSpec> sessions;
+  int discovery_rounds{3};
+  double duration_s{60.0};
+  // Deadline for each session's initial connect.
+  double connect_deadline_s{60.0};
+  // Churn: every interval one churn-group daemon stops, restarting after
+  // `churn_downtime_s`. 0 = no churn.
+  double churn_interval_s{0.0};
+  double churn_downtime_s{10.0};
+};
+
+struct SessionMetrics {
+  bool connected{false};
+  std::uint64_t sent{0};
+  std::uint64_t received{0};
+  std::uint64_t handovers{0};
+  std::uint64_t predictions{0};
+  std::uint64_t predictive_handovers{0};
+  std::uint64_t reconnections{0};
+  // Scenario-level session restarts: after the controller gave up, the
+  // runner (as the application) re-established a brand-new session.
+  std::uint64_t restarts{0};
+  std::uint64_t outage_episodes{0};
+  // Total time with no usable connection (transport lost -> substituted /
+  // reconnected / scenario end), in seconds.
+  double outage_s{0.0};
+  // Degradation/prediction -> completed handover.
+  double handover_latency_sum_s{0.0};
+  std::uint64_t handover_latency_count{0};
+};
+
+struct ScenarioMetrics {
+  std::vector<SessionMetrics> sessions;
+  // Medium deltas over the scenario body (setup/discovery excluded).
+  std::uint64_t medium_frames{0};
+  std::uint64_t medium_frame_bytes{0};
+  std::uint64_t quality_observer_evals{0};
+  std::uint64_t quality_events{0};
+
+  [[nodiscard]] std::uint64_t total_sent() const;
+  [[nodiscard]] std::uint64_t total_received() const;
+  [[nodiscard]] std::uint64_t frames_lost() const;
+  [[nodiscard]] double total_outage_s() const;
+  [[nodiscard]] std::uint64_t total_handovers() const;
+  [[nodiscard]] double mean_handover_latency_s() const;
+  // Non-payload medium frames: everything the stack sent beyond the
+  // application's delivered messages (discovery, acks, repairs) — the
+  // control-overhead figure of the bench matrix.
+  [[nodiscard]] std::uint64_t control_frames() const;
+};
+
+class ScenarioRunner {
+ public:
+  explicit ScenarioRunner(ScenarioSpec spec);
+  ~ScenarioRunner();
+
+  ScenarioRunner(const ScenarioRunner&) = delete;
+  ScenarioRunner& operator=(const ScenarioRunner&) = delete;
+
+  // Builds the testbed, runs discovery, opens every session and attaches
+  // traffic + handover controllers. Fails if a session cannot connect.
+  Status setup();
+  // Runs the scenario body and finalises the metrics. setup() must have
+  // succeeded.
+  void run();
+
+  [[nodiscard]] node::Testbed& testbed() { return *testbed_; }
+  [[nodiscard]] const ScenarioSpec& spec() const { return spec_; }
+  [[nodiscard]] const ScenarioMetrics& metrics() const { return metrics_; }
+
+ private:
+  struct Session;
+
+  void attach_channel(Session& session, ChannelPtr channel);
+  void bank_controller_stats(Session& session);
+  void start_traffic(Session& session);
+  // Application-level persistence: once the controller has given up, retry
+  // a fresh session periodically (outage keeps accruing until it lands).
+  void start_watchdog(Session& session);
+  void note_outage_start(Session& session);
+  void note_outage_end(Session& session);
+  void schedule_churn();
+
+  ScenarioSpec spec_;
+  std::unique_ptr<node::Testbed> testbed_;
+  std::vector<std::unique_ptr<Session>> sessions_;
+  // Server-side sessions live here — handlers must not own their channel
+  // (common/handler_slot.hpp).
+  std::vector<ChannelPtr> server_channels_;
+  std::vector<node::Node*> churn_nodes_;
+  std::size_t next_churn_{0};
+  sim::PeriodicTask churn_task_;
+  ScenarioMetrics metrics_;
+  sim::TrafficStats medium_baseline_{};
+  std::uint64_t observer_evals_baseline_{0};
+  bool ready_{false};
+};
+
+// --- Canned scenarios used by the bench matrix and regression tests ---------
+// All take the RNG seed and whether sessions run the predictive
+// make-before-break engine (false = reactive baseline).
+
+// The Fig. 5.4 corridor walk: static server, static mid-corridor bridge,
+// one walker holding near the server then walking out of its range at
+// `speed_mps`, messaging throughout.
+[[nodiscard]] ScenarioSpec corridor_walk(std::uint64_t seed, bool predictive,
+                                         double speed_mps = 0.75);
+// Office floor: `n` nodes, 40% static (servers among them), the rest
+// random-waypoint; a few mobile clients hold sessions to static servers.
+[[nodiscard]] ScenarioSpec office(std::uint64_t seed, bool predictive,
+                                  int n = 12);
+// Reference-point group mobility: a group of `members` walks a corridor
+// away from a static server past a static bridge; two members hold
+// sessions to the server.
+[[nodiscard]] ScenarioSpec group_walk(std::uint64_t seed, bool predictive,
+                                      int members = 4);
+// Office floor under churn: bridge-capable nodes restart on a cycle.
+[[nodiscard]] ScenarioSpec churn(std::uint64_t seed, bool predictive,
+                                 int n = 10);
+
+}  // namespace peerhood::scenario

@@ -12,7 +12,12 @@ RadioMedium::RadioMedium(Simulator& sim, LinkQualityModel quality_model)
                                 Technology::kGprs}) {
     configure(default_params(tech));
   }
-  time_observer_ = sim_.add_time_observer([this] { ++position_gen_; });
+  time_observer_ = sim_.add_time_observer([this] {
+    ++position_gen_;
+    // Push path of the quality plane: observers attached to endpoints that
+    // can have moved are re-checked here, once per distinct SimTime.
+    evaluate_quality_observers();
+  });
 }
 
 RadioMedium::~RadioMedium() { sim_.remove_time_observer(time_observer_); }
@@ -79,6 +84,18 @@ void RadioMedium::register_endpoint(
     it->second.grid_position = at;
   }
   (void)inserted;
+  // Observers may outlive endpoint churn: re-attach any that watch a link
+  // touching the (re-)registered endpoint. insert_or_assign wiped the old
+  // watcher list, so this rebuild is what keeps them firing.
+  if (live_observers_ > 0) {
+    for (std::uint32_t index = 0;
+         index < static_cast<std::uint32_t>(observers_.size()); ++index) {
+      const QualityObserver& obs = observers_[index];
+      if (obs.live && obs.tech == tech && (obs.a == mac || obs.b == mac)) {
+        attach_watcher(index);
+      }
+    }
+  }
 }
 
 void RadioMedium::unregister_endpoint(MacAddress mac, Technology tech) {
@@ -207,15 +224,245 @@ bool RadioMedium::in_range(MacAddress a, MacAddress b, Technology tech) const {
                       params(tech).range_m);
 }
 
+std::uint64_t RadioMedium::link_shadow_key(MacAddress a, MacAddress b,
+                                           Technology tech) {
+  const std::uint64_t lo = std::min(a.as_u64(), b.as_u64());
+  const std::uint64_t hi = std::max(a.as_u64(), b.as_u64());
+  return (lo * 0x9e3779b97f4a7c15ULL) ^ (hi * 0xbf58476d1ce4e5b9ULL) ^
+         static_cast<std::uint64_t>(tech);
+}
+
+const RadioMedium::LinkCacheEntry& RadioMedium::link_cache_entry(
+    const Endpoint& ea, const Endpoint& eb) const {
+  const std::uint64_t ka = ea.mac.as_u64();
+  const std::uint64_t kb = eb.mac.as_u64();
+  const auto key = std::tuple{std::min(ka, kb), std::max(ka, kb),
+                              static_cast<std::uint8_t>(ea.tech)};
+  LinkCacheEntry& entry = link_cache_[key];
+  if (entry.gen == position_gen_) {
+    ++quality_stats_.cache_hits;
+    return entry;
+  }
+  entry.gen = position_gen_;
+  entry.distance = sim::distance(cached_position(ea), cached_position(eb));
+  entry.base = quality_model_.base_quality(
+      entry.distance, state(ea.tech).params.range_m,
+      link_shadow_key(ea.mac, eb.mac, ea.tech));
+  ++quality_stats_.evaluations;
+  if (link_cache_.size() >= link_cache_sweep_limit_) {
+    // Entries only serve repeats within one SimTime; anything stale is dead
+    // weight. The fresh entry carries the current gen and survives.
+    std::erase_if(link_cache_, [this](const auto& kv) {
+      return kv.second.gen != position_gen_;
+    });
+    link_cache_sweep_limit_ =
+        std::max(kLastDeliveryMinSweep, link_cache_.size() * 2);
+  }
+  return entry;
+}
+
 int RadioMedium::sample_quality(MacAddress a, MacAddress b, Technology tech) {
-  const double d = distance(a, b, tech);
-  return quality_model_.quality(d, params(tech).range_m, &noise_rng_);
+  const Endpoint* ea = find(a, tech);
+  const Endpoint* eb = find(b, tech);
+  if (ea == nullptr || eb == nullptr) return 0;
+  return quality_model_.finalize(link_cache_entry(*ea, *eb).base, &noise_rng_);
 }
 
 int RadioMedium::expected_quality(MacAddress a, MacAddress b,
                                   Technology tech) const {
-  const double d = distance(a, b, tech);
-  return quality_model_.quality(d, params(tech).range_m, nullptr);
+  const Endpoint* ea = find(a, tech);
+  const Endpoint* eb = find(b, tech);
+  if (ea == nullptr || eb == nullptr) return 0;
+  return quality_model_.finalize(link_cache_entry(*ea, *eb).base, nullptr);
+}
+
+QualityObserverId RadioMedium::observe_quality(MacAddress a, MacAddress b,
+                                               Technology tech,
+                                               QualityObserverConfig config,
+                                               QualityHandler handler) {
+  std::uint32_t index;
+  if (!observer_free_.empty()) {
+    index = observer_free_.back();
+    observer_free_.pop_back();
+  } else {
+    index = static_cast<std::uint32_t>(observers_.size());
+    observers_.emplace_back();
+  }
+  QualityObserver& obs = observers_[index];
+  ++obs.gen;  // stale ids from the slot's previous life stop resolving
+  obs.live = true;
+  obs.a = a;
+  obs.b = b;
+  obs.tech = tech;
+  obs.config = config;
+  obs.handler = handler
+                    ? std::make_shared<const QualityHandler>(std::move(handler))
+                    : nullptr;
+  obs.below = false;
+  obs.in_range = false;
+  obs.next_eval = SimTime::zero();
+  obs.eval_gen = 0;
+  ++live_observers_;
+  attach_watcher(index);
+  // Prime the edge detector against the current link state; deliberately
+  // silent — only crossings *after* subscription are pushed.
+  evaluate_observer(index, sim_.now(), /*emit=*/false);
+  return (static_cast<QualityObserverId>(observers_[index].gen) << 32) |
+         (index + 1);
+}
+
+void RadioMedium::unobserve_quality(QualityObserverId id) {
+  if (id == kInvalidQualityObserver) return;
+  const std::uint64_t slot = id & 0xffffffffULL;
+  if (slot == 0 || slot > observers_.size()) return;
+  const auto index = static_cast<std::uint32_t>(slot - 1);
+  const auto gen = static_cast<std::uint32_t>(id >> 32);
+  QualityObserver& obs = observers_[index];
+  if (!obs.live || obs.gen != gen) return;  // stale or repeated unsubscribe
+  obs.live = false;
+  // Release the captures now; a dispatch in progress still holds its pin.
+  obs.handler.reset();
+  --live_observers_;
+  observer_free_.push_back(index);
+  // Watcher-list entries are dropped lazily by the per-tick walk.
+}
+
+void RadioMedium::attach_watcher(std::uint32_t index) {
+  const QualityObserver& obs = observers_[index];
+  for (const MacAddress mac : {obs.a, obs.b}) {
+    const Endpoint* e = find(mac, obs.tech);
+    if (e == nullptr) continue;
+    if (std::find(e->watchers.begin(), e->watchers.end(), index) ==
+        e->watchers.end()) {
+      e->watchers.push_back(index);
+    }
+  }
+}
+
+void RadioMedium::evaluate_quality_observers() {
+  if (live_observers_ == 0) return;
+  const SimTime now = sim_.now();
+  for (TechState& ts : tech_) {
+    // Only endpoints that can have moved are walked: a subscriber set full
+    // of static-static links costs nothing per tick. Index loops + lazy
+    // dead-entry eviction keep this safe against reentrant subscribe /
+    // unsubscribe from inside a callback (callbacks must not, however,
+    // register or unregister endpoints — see observe_quality).
+    for (std::size_t m = 0; m < ts.mobiles.size(); ++m) {
+      const Endpoint* e = ts.mobiles[m];
+      auto& watchers = e->watchers;
+      for (std::size_t i = 0; i < watchers.size();) {
+        const std::uint32_t index = watchers[i];
+        const QualityObserver* obs =
+            index < observers_.size() ? &observers_[index] : nullptr;
+        const bool valid = obs != nullptr && obs->live &&
+                           obs->tech == e->tech &&
+                           (obs->a == e->mac || obs->b == e->mac);
+        if (!valid) {
+          watchers[i] = watchers.back();
+          watchers.pop_back();
+          continue;
+        }
+        ++i;
+        // Dedupe (a link whose both ends are mobile is visited twice) and
+        // rate-limit; both checks are O(1), no quality math.
+        if (obs->eval_gen == position_gen_ || now < obs->next_eval) continue;
+        evaluate_observer(index, now, /*emit=*/true);
+      }
+    }
+  }
+}
+
+LinkQualityEvent RadioMedium::probe_link(MacAddress a, MacAddress b,
+                                         Technology tech) const {
+  LinkQualityEvent event;
+  event.a = a;
+  event.b = b;
+  event.tech = tech;
+  event.at = sim_.now();
+  const Endpoint* ea = find(a, tech);
+  const Endpoint* eb = find(b, tech);
+  if (ea == nullptr || eb == nullptr) return event;
+  const LinkCacheEntry& cache = link_cache_entry(*ea, *eb);
+  const double range = state(tech).params.range_m;
+  event.distance_m = cache.distance;
+  event.quality = quality_model_.finalize(cache.base, nullptr);
+  // Signed slope from the models' velocities: project the relative
+  // velocity onto the separation axis, then difference the path-loss
+  // curve one second of radial motion ahead (clamped to the coverage).
+  const Vec2 rel = cached_position(*ea) - cached_position(*eb);
+  const Vec2 vrel =
+      ea->mobility->velocity_at(event.at) - eb->mobility->velocity_at(event.at);
+  event.radial_speed_mps =
+      cache.distance > 1e-9
+          ? (rel.x * vrel.x + rel.y * vrel.y) / cache.distance
+          : vrel.norm();
+  // A dead link has no meaningful quality slope: the ahead-point would
+  // clamp back inside coverage and report a phantom recovery.
+  if (event.quality > 0) {
+    const double ahead =
+        std::clamp(cache.distance + event.radial_speed_mps, 0.0, range);
+    const double base_ahead =
+        quality_model_.base_quality(ahead, range, link_shadow_key(a, b, tech));
+    event.slope_per_s =
+        static_cast<double>(quality_model_.finalize(base_ahead, nullptr)) -
+        static_cast<double>(event.quality);
+  }
+  return event;
+}
+
+void RadioMedium::evaluate_observer(std::uint32_t index, SimTime now,
+                                    bool emit) {
+  QualityObserver& obs = observers_[index];
+  const std::uint32_t gen = obs.gen;
+  obs.eval_gen = position_gen_;
+  obs.next_eval = now + obs.config.min_interval;
+  ++quality_stats_.observer_evals;
+
+  LinkQualityEvent event = probe_link(obs.a, obs.b, obs.tech);
+  const bool in_range = event.quality > 0;
+
+  const bool was_in = obs.in_range;
+  const bool was_below = obs.below;
+  bool below = was_below;
+  if (event.quality < obs.config.threshold) {
+    below = true;
+  } else if (event.quality > obs.config.threshold + obs.config.hysteresis) {
+    below = false;
+  }
+  // Commit the detector state before dispatch: the callback may unsubscribe
+  // this observer or subscribe new ones (which reallocates observers_).
+  obs.in_range = in_range;
+  obs.below = below;
+  if (!emit) return;
+
+  using Edge = LinkQualityEvent::Edge;
+  Edge edges[2];
+  std::size_t edge_count = 0;
+  if (was_in && !in_range) {
+    edges[edge_count++] = Edge::kLost;
+  } else if (!was_in && in_range) {
+    edges[edge_count++] = Edge::kRestored;
+    if (below) edges[edge_count++] = Edge::kFell;
+  } else if (in_range) {
+    if (!was_below && below) edges[edge_count++] = Edge::kFell;
+    if (was_below && !below) edges[edge_count++] = Edge::kRose;
+  }
+
+  for (std::size_t i = 0; i < edge_count; ++i) {
+    // Pin-before-call (HandlerSlot discipline): the callback may
+    // unsubscribe, resubscribe, or destroy its owning controller.
+    const auto handler = observers_[index].handler;
+    if (handler == nullptr || !*handler) return;
+    event.edge = edges[i];
+    ++quality_stats_.events_emitted;
+    (*handler)(event);
+    // The callback may have retired or recycled this slot; stop if so.
+    if (index >= observers_.size() || !observers_[index].live ||
+        observers_[index].gen != gen) {
+      return;
+    }
+  }
 }
 
 void RadioMedium::collect_in_range(const Endpoint& origin, TechState& ts,

@@ -48,6 +48,64 @@ struct TrafficStats {
   std::uint64_t drops{0};
 };
 
+// Counters for the link-quality plane. `evaluations` counts actual
+// distance -> path-loss computations; `cache_hits` repeats served from the
+// per-SimTime link cache; `observer_evals` observer re-checks (the
+// O(moved endpoints) bound is asserted against this one); `events_emitted`
+// threshold/coverage crossing callbacks delivered.
+struct QualityStats {
+  std::uint64_t evaluations{0};
+  std::uint64_t cache_hits{0};
+  std::uint64_t observer_evals{0};
+  std::uint64_t events_emitted{0};
+};
+
+// A threshold/coverage crossing on an observed link, pushed by the medium to
+// subscribers (the predictive handover engine) instead of being polled.
+struct LinkQualityEvent {
+  enum class Edge : std::uint8_t {
+    kFell,      // quality crossed below the observer's threshold
+    kRose,      // quality recovered above threshold + hysteresis
+    // Left coverage, or an endpoint vanished. Crossings are detected on the
+    // link's next evaluation, which requires a surviving *mobile* endpoint:
+    // if the only mobile side of a link unregisters (daemon churn), no
+    // kLost is pushed — the transport keepalive / reactive monitor is the
+    // detector for that case.
+    kLost,
+    kRestored,  // re-entered coverage
+  };
+
+  MacAddress a;  // the subscribing side, as passed to observe_quality
+  MacAddress b;
+  Technology tech{Technology::kBluetooth};
+  Edge edge{Edge::kFell};
+  // Noise-free (shadowed) quality at `at`; 0 when out of range.
+  int quality{0};
+  // Signed quality slope (units/s) derived from the mobility models'
+  // velocities — negative while the endpoints separate.
+  double slope_per_s{0.0};
+  double distance_m{0.0};
+  // d(distance)/dt in m/s; positive = separating. With distance_m and the
+  // technology range this is what time-to-loss prediction runs on.
+  double radial_speed_mps{0.0};
+  SimTime at;
+};
+
+struct QualityObserverConfig {
+  int threshold{LinkQualityModel::kDefaultThreshold};
+  // kRose only fires once quality clears threshold + hysteresis, so a link
+  // hovering at the threshold cannot chatter fell/rose every tick.
+  int hysteresis{5};
+  // A link is re-evaluated at most once per min_interval no matter how many
+  // events advance the clock.
+  SimDuration min_interval{std::chrono::milliseconds{100}};
+};
+
+// Slot+generation handle, same scheme as EventId: stale unsubscribes are
+// detected and ignored, so unsubscribe is idempotent.
+using QualityObserverId = std::uint64_t;
+inline constexpr QualityObserverId kInvalidQualityObserver = 0;
+
 class RadioMedium {
  public:
   using FrameHandler =
@@ -93,11 +151,45 @@ class RadioMedium {
   [[nodiscard]] bool in_range(MacAddress a, MacAddress b,
                               Technology tech) const;
   // Noisy sample of the RSSI-style quality (0 when out of range / missing).
+  // The noise-free part is served from the per-SimTime link cache: repeated
+  // reads of one link within a tick cost one distance evaluation.
   [[nodiscard]] int sample_quality(MacAddress a, MacAddress b,
                                    Technology tech);
-  // Noise-free quality (for analytical benches).
+  // Noise-free quality (for analytical benches and the observer plane).
   [[nodiscard]] int expected_quality(MacAddress a, MacAddress b,
                                      Technology tech) const;
+
+  // --- Push-based quality observers ----------------------------------------
+  // Subscribes to threshold/coverage crossings on the (a, b) link. The
+  // medium re-evaluates an observed link only when the clock advances AND at
+  // least one of its endpoints is mobile — a scenario tick costs
+  // O(observers on moved endpoints), not O(subscribers) polls. The first
+  // evaluation happens synchronously (priming the edge detector) but emits
+  // nothing; only crossings after subscription are pushed.
+  //
+  // Handler lifecycle follows the HandlerSlot rules: the handler is pinned
+  // before each call, so a callback may unsubscribe any observer (including
+  // itself), subscribe new ones, or destroy its owning controller. It must
+  // not register/unregister endpoints or destroy the medium.
+  using QualityHandler = std::function<void(const LinkQualityEvent&)>;
+  QualityObserverId observe_quality(MacAddress a, MacAddress b,
+                                    Technology tech,
+                                    QualityObserverConfig config,
+                                    QualityHandler handler);
+  // Idempotent; stale ids (already unsubscribed, or from a reused slot) are
+  // ignored. Safe to call from inside a quality event.
+  void unobserve_quality(QualityObserverId id);
+  [[nodiscard]] std::size_t quality_observer_count() const {
+    return live_observers_;
+  }
+  [[nodiscard]] const QualityStats& quality_stats() const {
+    return quality_stats_;
+  }
+  // One-shot measurement of a link in observer-event form (edge is
+  // meaningless here): noise-free quality, distance, radial speed and
+  // quality slope. What an armed predictor polls between crossing events.
+  [[nodiscard]] LinkQualityEvent probe_link(MacAddress a, MacAddress b,
+                                            Technology tech) const;
 
   // Endpoints (other than `mac`) currently within radio range, in ascending
   // MAC order (the ordering contract shared with in_range_of_brute).
@@ -160,6 +252,32 @@ class RadioMedium {
     // refresh compares against it, so point queries that re-sample the
     // cache between refreshes cannot desynchronise the index.
     mutable Vec2 grid_position{};
+    // Indices into observers_ watching a link that touches this endpoint.
+    // Dead entries are dropped lazily during the per-tick walk.
+    mutable std::vector<std::uint32_t> watchers;
+  };
+
+  struct QualityObserver {
+    std::uint32_t gen{0};
+    bool live{false};
+    MacAddress a;
+    MacAddress b;
+    Technology tech{Technology::kBluetooth};
+    QualityObserverConfig config{};
+    // Pinned (shared_ptr copy) before every call — HandlerSlot discipline
+    // without the slot, since observers are arena entries, not members.
+    std::shared_ptr<const QualityHandler> handler;
+    // Edge-detector state.
+    bool below{false};
+    bool in_range{false};
+    SimTime next_eval{};
+    std::uint64_t eval_gen{0};  // position_gen_ of the last evaluation
+  };
+
+  struct LinkCacheEntry {
+    std::uint64_t gen{0};
+    double distance{0.0};
+    double base{0.0};  // noise-free shadowed quality; <= 0 = dead
   };
 
   struct TechState {
@@ -202,6 +320,23 @@ class RadioMedium {
   void collect_in_range(const Endpoint& origin, TechState& ts,
                         std::vector<const Endpoint*>& out) const;
 
+  // Per-SimTime link cache: distance + noise-free quality computed at most
+  // once per distinct (link, SimTime) no matter how many reads hit it.
+  [[nodiscard]] const LinkCacheEntry& link_cache_entry(const Endpoint& ea,
+                                                       const Endpoint& eb)
+      const;
+  [[nodiscard]] static std::uint64_t link_shadow_key(MacAddress a,
+                                                     MacAddress b,
+                                                     Technology tech);
+  // Re-checks observers attached to mobile endpoints; runs from the clock's
+  // time observer, after position_gen_ was bumped.
+  void evaluate_quality_observers();
+  // One observer re-check: updates the edge detector and pushes crossing
+  // events. Takes the index (not a reference): the handler may grow
+  // observers_ reentrantly.
+  void evaluate_observer(std::uint32_t index, SimTime now, bool emit);
+  void attach_watcher(std::uint32_t index);
+
   Simulator& sim_;
   Simulator::TimeObserverId time_observer_{0};
   LinkQualityModel quality_model_;
@@ -219,6 +354,18 @@ class RadioMedium {
   std::size_t last_delivery_sweep_limit_{kLastDeliveryMinSweep};
   static constexpr std::size_t kLastDeliveryMinSweep = 64;
   TrafficStats stats_;
+
+  // --- Link-quality plane ---------------------------------------------------
+  std::vector<QualityObserver> observers_;
+  std::vector<std::uint32_t> observer_free_;
+  std::size_t live_observers_{0};
+  // Keyed (min mac, max mac, tech); generation-tagged like the position
+  // cache, swept when it outgrows the live working set.
+  mutable std::map<std::tuple<std::uint64_t, std::uint64_t, std::uint8_t>,
+                   LinkCacheEntry>
+      link_cache_;
+  mutable std::size_t link_cache_sweep_limit_{kLastDeliveryMinSweep};
+  mutable QualityStats quality_stats_;
 };
 
 }  // namespace peerhood::sim

@@ -67,15 +67,48 @@ TechnologyParams default_params(Technology tech) {
   return bluetooth_params();
 }
 
-int LinkQualityModel::quality(double distance_m, double range_m,
-                              Rng* noise_rng) const {
-  if (distance_m > range_m || range_m <= 0.0) return 0;
+double LinkQualityModel::shadow_offset(std::uint64_t link_key) const {
+  if (shadow_sigma <= 0.0) return 0.0;
+  // One splitmix-seeded draw per (seed, link): deterministic for the run,
+  // decorrelated across links.
+  Rng rng{shadow_seed ^ (link_key * 0x9e3779b97f4a7c15ULL + 1)};
+  return rng.gaussian(0.0, shadow_sigma);
+}
+
+double LinkQualityModel::base_quality(double distance_m, double range_m,
+                                      std::uint64_t link_key) const {
+  if (distance_m > range_m || range_m <= 0.0) return 0.0;
   const double frac = std::clamp(distance_m / range_m, 0.0, 1.0);
-  double q = q_max - (q_max - q_edge) * std::pow(frac, exponent);
+  const double span = static_cast<double>(q_max - q_edge);
+  double q = q_max;
+  switch (law) {
+    case PathLossLaw::kConcavePower:
+      q -= span * std::pow(frac, exponent);
+      break;
+    case PathLossLaw::kLogDistance:
+      // log10(1 + 9·frac) runs 0 -> 1 over the coverage: steep attenuation
+      // near the transmitter, flat toward the edge.
+      q -= span * std::log10(1.0 + 9.0 * frac);
+      break;
+  }
+  if (link_key != 0) q += shadow_offset(link_key);
+  // May come back <= 0 under deep shadow: a dead link inside nominal
+  // coverage, which finalize() reports as quality 0.
+  return q;
+}
+
+int LinkQualityModel::finalize(double base, Rng* noise_rng) const {
+  if (base <= 0.0) return 0;
+  double q = base;
   if (noise_rng != nullptr && noise > 0.0) {
     q += noise_rng->uniform(-noise, noise);
   }
   return std::clamp(static_cast<int>(std::lround(q)), 1, 255);
+}
+
+int LinkQualityModel::quality(double distance_m, double range_m,
+                              Rng* noise_rng, std::uint64_t link_key) const {
+  return finalize(base_quality(distance_m, range_m, link_key), noise_rng);
 }
 
 }  // namespace peerhood::sim

@@ -503,5 +503,113 @@ TEST(TeardownScenario, TestbedDestroyedMidHandshake) {
   SUCCEED();
 }
 
+// --- Quality-observer lifecycle (PR 5) ---------------------------------------
+// The predictive engine subscribes a quality observer on the medium; its
+// callbacks follow the HandlerSlot rules: pin-before-call dispatch, an
+// idempotent unsubscribe, and destruction of the subscribed controller from
+// inside its own event chain must be safe.
+
+namespace observer_teardown {
+
+// Corridor walk whose client starts next to the server and leaves at 0.75
+// m/s after `departure_s` — enough time for discovery and the connect.
+struct Walkout {
+  Walkout(std::uint64_t seed, double departure_s) : testbed{seed} {
+    testbed.medium().configure(reliable_bluetooth());
+    server = &testbed.add_node("server", {0.0, 0.0},
+                               fast_node(MobilityClass::kStatic));
+    testbed.add_node("bridge", {8.0, 0.0}, fast_node(MobilityClass::kStatic));
+    client = &testbed.add_mobile_node(
+        "client",
+        std::make_shared<sim::LinearMotion>(
+            sim::Vec2{2.0, 0.0}, sim::Vec2{0.75, 0.0},
+            SimTime{} + seconds(departure_s)),
+        fast_node(MobilityClass::kDynamic));
+    (void)server->library().register_service(
+        ServiceInfo{"sink", "", 0},
+        [this](ChannelPtr channel, const wire::ConnectRequest&) {
+          sessions.push_back(std::move(channel));
+        });
+    testbed.run_discovery_rounds(3);
+  }
+
+  Testbed testbed;
+  node::Node* server{nullptr};
+  node::Node* client{nullptr};
+  std::vector<ChannelPtr> sessions;
+};
+
+TEST(QualityObserverTeardown, ControllerDestroyedFromInsideItsOwnEventChain) {
+  Walkout walkout{91, 60.0};
+  auto result = walkout.client->connect_blocking(walkout.server->mac(),
+                                                 "sink");
+  ASSERT_TRUE(result.ok());
+  const ChannelPtr channel = result.value();
+
+  auto controller = std::make_unique<HandoverController>(
+      walkout.client->library(), channel, handover::HandoverConfig{});
+  Tracker capture;
+  controller->set_event_handler(
+      [&controller, keep = capture.strong](const handover::HandoverEvent& e) {
+        if (e.kind == handover::HandoverEvent::Kind::kPredictedLoss) {
+          // Destroy the controller from inside the quality-event chain
+          // (medium observer dispatch -> predictor -> app handler).
+          controller.reset();
+        }
+      });
+  capture.drop_local();
+  controller->start();
+  EXPECT_EQ(walkout.testbed.medium().quality_observer_count(), 1u);
+
+  walkout.testbed.run_for(90.0);
+  EXPECT_EQ(controller, nullptr) << "prediction should have fired";
+  EXPECT_TRUE(capture.released());
+  EXPECT_EQ(walkout.testbed.medium().quality_observer_count(), 0u);
+  // The walk continues past the coverage edge with the observer slot
+  // retired: no stale handler fires (ASan/LSan would flag it).
+  walkout.testbed.run_for(30.0);
+  SUCCEED();
+}
+
+TEST(QualityObserverTeardown, DestroyingArmedControllerDetachesObserver) {
+  Walkout walkout{92, 60.0};
+  auto result = walkout.client->connect_blocking(walkout.server->mac(),
+                                                 "sink");
+  ASSERT_TRUE(result.ok());
+  const ChannelPtr channel = result.value();
+
+  auto controller = std::make_unique<HandoverController>(
+      walkout.client->library(), channel, handover::HandoverConfig{});
+  controller->start();
+  // Run until the observer pushed at least one crossing (predictor armed,
+  // pre-dial possibly in flight), then destroy without stop(). The walk
+  // departs at 60 s and crosses the arming threshold ~4 s later.
+  walkout.testbed.sim().run_until(SimTime{} + seconds(65.0));
+  EXPECT_GT(controller->stats().quality_events, 0u);
+  controller.reset();
+  EXPECT_EQ(walkout.testbed.medium().quality_observer_count(), 0u);
+  // Whatever was in flight (resume dial, predictor tick) resolves against
+  // the sentinel and the severed observer slot — leak- and UAF-free.
+  walkout.testbed.run_for(60.0);
+  SUCCEED();
+}
+
+TEST(QualityObserverTeardown, StopIsIdempotentAndReleasesObserver) {
+  Walkout walkout{93, 200.0};
+  auto result = walkout.client->connect_blocking(walkout.server->mac(),
+                                                 "sink");
+  ASSERT_TRUE(result.ok());
+  HandoverController controller{walkout.client->library(), result.value(),
+                                handover::HandoverConfig{}};
+  controller.start();
+  EXPECT_EQ(walkout.testbed.medium().quality_observer_count(), 1u);
+  controller.stop();
+  EXPECT_EQ(walkout.testbed.medium().quality_observer_count(), 0u);
+  controller.stop();  // idempotent
+  EXPECT_EQ(walkout.testbed.medium().quality_observer_count(), 0u);
+}
+
+}  // namespace observer_teardown
+
 }  // namespace
 }  // namespace peerhood
