@@ -60,8 +60,13 @@ class ByteReader {
   [[nodiscard]] std::string_view str_view();
   [[nodiscard]] Bytes blob();
 
-  // True iff no read has run past the end of the buffer.
+  // True iff no read has run past the end of the buffer and no decoder
+  // called fail() on a semantically invalid field.
   [[nodiscard]] bool ok() const { return !failed_; }
+  // Marks the reader failed: decoders reject out-of-domain values (an enum
+  // byte outside its range, say) through the same single ok() check that
+  // catches truncation.
+  void fail() { failed_ = true; }
   [[nodiscard]] bool at_end() const { return pos_ == data_.size(); }
   [[nodiscard]] std::size_t remaining() const { return data_.size() - pos_; }
 

@@ -8,6 +8,12 @@
 
 namespace peerhood::handover {
 
+namespace {
+// Full routing-plan passes attempted against a dead link before the
+// controller goes terminal (see attempt_route).
+constexpr int kMaxDeadLinkPasses = 3;
+}  // namespace
+
 HandoverController::HandoverController(Library& library, ChannelPtr channel,
                                        HandoverConfig config)
     : library_{library}, channel_{std::move(channel)}, config_{config} {}
@@ -329,13 +335,34 @@ void HandoverController::attempt_route(std::size_t candidate_index) {
   if (candidate_index >= limit) {
     ++stats_.route_failures;
     predicted_ = false;
-    if (config_.reconnection_enabled && !channel_->open()) {
-      start_reconnection();
+    if (!channel_->open()) {
+      if (config_.reconnection_enabled) {
+        start_reconnection();
+        return;
+      }
+      // Link dead and the whole plan failed. On a bursty medium one pass
+      // can fail spuriously (every handshake of every candidate lost), so
+      // drop back to monitor and let tick() re-run the plan — but only a
+      // few times. After that the route is genuinely gone: go terminal so
+      // the application's own recovery (the scenario watchdog) takes over.
+      if (++dead_link_passes_ < kMaxDeadLinkPasses) {
+        busy_ = false;
+        state_ = HandoverState::kMonitor;
+        return;
+      }
+      busy_ = false;
+      state_ = HandoverState::kFailed;
+      if (!emit(HandoverEvent{HandoverEvent::Kind::kGaveUp, {}, nullptr,
+                              "routing plan exhausted on a dead link"})) {
+        return;  // handler destroyed the controller
+      }
+      stop();
       return;
     }
     // Connection still alive: stay in monitor state and hope for recovery
     // or a better plan on the next tick. Re-arm the predictor — the link is
     // still degrading and kFell will not fire again while below threshold.
+    dead_link_passes_ = 0;
     busy_ = false;
     state_ = HandoverState::kMonitor;
     if (config_.predictive_enabled && channel_->open()) arm_predictor();
@@ -359,6 +386,7 @@ void HandoverController::attempt_route(std::size_t candidate_index) {
           predicted_ = false;
           busy_ = false;
           low_count_ = 0;
+          dead_link_passes_ = 0;
           state_ = HandoverState::kMonitor;
           // Traffic now flows through the bridge: move the observer to the
           // link the device can actually sense (self -> bridge hop).

@@ -194,6 +194,10 @@ class HandoverController {
   sim::PeriodicTask predictor_;
   bool predicted_{false};
   bool link_lost_since_dial_{false};
+  // Consecutive full-plan failures while the link was down. Bursty media
+  // fail whole passes spuriously, so the reactive loop re-runs the plan a
+  // few times before declaring the route dead and going terminal.
+  int dead_link_passes_{0};
   // Guards the in-flight resume/reconnect callbacks (they capture `this`
   // and may resolve after this controller is destroyed).
   DestructionSentinel sentinel_;

@@ -70,8 +70,21 @@ void ResultRouter::reconnect_and_send(std::weak_ptr<Channel> weak_channel,
   // token lets them resolve harmlessly after this router is destroyed.
   auto retry = [this, token = sentinel_.token(), weak_channel,
                 done](Bytes payload, int remaining) {
-    library_.daemon().simulator().schedule_after(
-        config_.retry_delay,
+    // Jittered exponential backoff keyed to how many attempts are spent:
+    // early retries catch a client that merely blinked, late ones give the
+    // discovery plane whole inquiry cycles to re-route.
+    sim::Simulator& sim = library_.daemon().simulator();
+    const int used = std::max(config_.max_attempts - remaining, 1);
+    const double base_s =
+        std::chrono::duration<double>(config_.retry_base).count();
+    const double cap_s =
+        std::chrono::duration<double>(config_.retry_cap).count();
+    const double backoff_s = std::min(
+        base_s * static_cast<double>(std::uint64_t{1} << (used - 1)), cap_s);
+    const double scale = sim.rng().uniform(1.0 - config_.retry_jitter,
+                                           1.0 + config_.retry_jitter);
+    sim.schedule_after(
+        seconds(backoff_s * scale),
         [this, token, weak_channel, payload = std::move(payload), done,
          remaining] {
           if (token.expired()) return;

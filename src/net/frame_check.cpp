@@ -1,0 +1,51 @@
+#include "net/frame_check.hpp"
+
+#include <cassert>
+
+namespace peerhood::net {
+
+std::uint32_t frame_checksum(std::span<const std::uint8_t> body) {
+  std::uint32_t hash = 2166136261u;
+  for (const std::uint8_t byte : body) {
+    hash ^= byte;
+    hash *= 16777619u;
+  }
+  return hash;
+}
+
+void begin_frame(ByteWriter& writer) {
+  writer.u16(0);
+  writer.u32(0);
+}
+
+void seal_frame(Bytes& frame) {
+  assert(frame.size() >= kFrameHeaderSize);
+  const std::size_t body_len = frame.size() - kFrameHeaderSize;
+  assert(body_len <= 0xffff);
+  const std::span<const std::uint8_t> body{frame.data() + kFrameHeaderSize,
+                                           body_len};
+  const std::uint32_t checksum = frame_checksum(body);
+  frame[0] = static_cast<std::uint8_t>(body_len >> 8);
+  frame[1] = static_cast<std::uint8_t>(body_len & 0xff);
+  frame[2] = static_cast<std::uint8_t>(checksum >> 24);
+  frame[3] = static_cast<std::uint8_t>((checksum >> 16) & 0xff);
+  frame[4] = static_cast<std::uint8_t>((checksum >> 8) & 0xff);
+  frame[5] = static_cast<std::uint8_t>(checksum & 0xff);
+}
+
+std::optional<std::span<const std::uint8_t>> check_frame(
+    std::span<const std::uint8_t> frame) {
+  if (frame.size() < kFrameHeaderSize) return std::nullopt;
+  const std::size_t body_len =
+      (static_cast<std::size_t>(frame[0]) << 8) | frame[1];
+  if (body_len != frame.size() - kFrameHeaderSize) return std::nullopt;
+  const std::uint32_t claimed = (static_cast<std::uint32_t>(frame[2]) << 24) |
+                                (static_cast<std::uint32_t>(frame[3]) << 16) |
+                                (static_cast<std::uint32_t>(frame[4]) << 8) |
+                                static_cast<std::uint32_t>(frame[5]);
+  const std::span<const std::uint8_t> body = frame.subspan(kFrameHeaderSize);
+  if (frame_checksum(body) != claimed) return std::nullopt;
+  return body;
+}
+
+}  // namespace peerhood::net

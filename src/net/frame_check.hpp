@@ -1,0 +1,42 @@
+// Wire-frame integrity: every SimNetwork frame carries a 6-byte header —
+// u16 body length + u32 FNV-1a checksum of the body — so bit corruption on
+// the medium (sim/fault.hpp) is detected and the frame dropped at the
+// receiver instead of feeding mangled bytes to the decoders. The decoders
+// stay untrusted-input-strict regardless: the checksum is a fault *counter*,
+// not the security boundary.
+//
+// Frames are built with a 6-byte placeholder (begin_frame) and sealed in
+// place once the body is complete, so the send path stays single-allocation;
+// shared cached frames (SnapshotCache) bake the sealed header into the
+// buffer once and every requester ships the same allocation.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+
+#include "common/bytes.hpp"
+
+namespace peerhood::net {
+
+// u16 body length + u32 checksum.
+inline constexpr std::size_t kFrameHeaderSize = 6;
+
+// FNV-1a over the body bytes.
+[[nodiscard]] std::uint32_t frame_checksum(std::span<const std::uint8_t> body);
+
+// Reserves the header: writes kFrameHeaderSize zero bytes. The frame body
+// follows; seal_frame fills the header in afterwards.
+void begin_frame(ByteWriter& writer);
+
+// Overwrites the placeholder at frame[0..5] with the real length + checksum
+// of everything after it. The body must fit a u16 (asserted; medium frames
+// are hundreds of bytes).
+void seal_frame(Bytes& frame);
+
+// Verifies the header; returns the body span on success, nullopt when the
+// frame is truncated, length-inconsistent or fails the checksum.
+[[nodiscard]] std::optional<std::span<const std::uint8_t>> check_frame(
+    std::span<const std::uint8_t> frame);
+
+}  // namespace peerhood::net

@@ -234,16 +234,19 @@ void SimNetwork::set_datagram_handler(MacAddress mac, Technology tech,
 void SimNetwork::send_datagram(MacAddress from, MacAddress to, Technology tech,
                                Bytes payload) {
   Bytes frame;
-  frame.reserve(payload.size() + 1);
+  frame.reserve(kFrameHeaderSize + payload.size() + 1);
+  frame.resize(kFrameHeaderSize);
   frame.push_back(kFrameDatagram);
   frame.insert(frame.end(), payload.begin(), payload.end());
+  seal_frame(frame);
   medium_.send_frame(from, to, tech, std::move(frame));
 }
 
 void SimNetwork::send_datagram(MacAddress from, MacAddress to, Technology tech,
                                sim::RadioMedium::FramePtr frame) {
-  assert(frame != nullptr && !frame->empty() &&
-         (*frame)[0] == kDatagramFrameTag);
+  // The sender baked the sealed integrity header + datagram tag in.
+  assert(frame != nullptr && frame->size() > kFrameHeaderSize &&
+         (*frame)[kFrameHeaderSize] == kDatagramFrameTag);
   medium_.send_frame(from, to, tech, std::move(frame));
 }
 
@@ -284,6 +287,14 @@ void SimNetwork::finish_connect(MacAddress from_mac, NetAddress to,
     handler(Error{ErrorCode::kConnectionFailed, "peer out of coverage"});
     return;
   }
+  // A scheduled blackout silences the link-layer handshake. Established
+  // connections merely stall under a blackout (their frames drop at the
+  // medium and retransmission recovers after it lifts), but a new one
+  // cannot form across radio silence.
+  if (medium_.link_blacked_out(from_mac, to.mac, to.tech)) {
+    handler(Error{ErrorCode::kConnectionFailed, "link blacked out"});
+    return;
+  }
   const auto listener = listeners_.find(to);
   if (listener == listeners_.end()) {
     handler(Error{ErrorCode::kConnectionFailed,
@@ -317,8 +328,16 @@ void SimNetwork::finish_connect(MacAddress from_mac, NetAddress to,
 
 void SimNetwork::handle_frame(MacAddress local, Technology tech,
                               MacAddress from, const Bytes& frame) {
-  if (frame.empty()) return;
-  const std::uint8_t kind = frame[0];
+  ++integrity_.frames_checked;
+  const auto body = check_frame(frame);
+  if (!body.has_value()) {
+    // Truncated or bit-corrupted on the air (sim/fault.hpp): count and drop
+    // before any decoder sees the bytes.
+    ++integrity_.corrupt_drops;
+    return;
+  }
+  if (body->empty()) return;
+  const std::uint8_t kind = (*body)[0];
   if (kind == kFrameDatagram) {
     const auto it = interfaces_.find(iface_key(local, tech));
     if (it != interfaces_.end() && it->second.datagram_handler) {
@@ -326,16 +345,16 @@ void SimNetwork::handle_frame(MacAddress local, Technology tech,
       // (daemon stop from inside a datagram), invalidating the map slot.
       // The payload itself is handed out as a view — no copy.
       const DatagramHandler handler = it->second.datagram_handler;
-      handler(from, std::span{frame.data() + 1, frame.size() - 1});
+      handler(from, body->subspan(1));
     }
     return;
   }
-  ByteReader reader{std::span{frame.data() + 1, frame.size() - 1}};
+  ByteReader reader{body->subspan(1)};
   const std::uint64_t conn_id = reader.u64();
   if (!reader.ok()) return;
   if (kind == kFrameData) {
     Bytes payload;
-    payload.assign(frame.begin() + 9, frame.end());
+    payload.assign(body->begin() + 9, body->end());
     on_peer_data(conn_id, local, std::move(payload));
   } else if (kind == kFrameClose) {
     on_peer_close(conn_id, local);
@@ -346,10 +365,14 @@ void SimNetwork::send_conn_frame(std::uint64_t conn_id, MacAddress from,
                                  MacAddress to, Technology tech,
                                  std::uint8_t kind, Bytes payload) {
   ByteWriter writer;
+  writer.reserve(kFrameHeaderSize + 9 + payload.size());
+  begin_frame(writer);
   writer.u8(kind);
   writer.u64(conn_id);
   writer.raw(payload);
-  medium_.send_frame(from, to, tech, std::move(writer).take());
+  Bytes frame = std::move(writer).take();
+  seal_frame(frame);
+  medium_.send_frame(from, to, tech, std::move(frame));
 }
 
 void SimNetwork::on_peer_data(std::uint64_t conn_id, MacAddress receiver,

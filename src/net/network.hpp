@@ -15,6 +15,7 @@
 #include "common/result.hpp"
 #include "net/address.hpp"
 #include "net/connection.hpp"
+#include "net/frame_check.hpp"
 #include "sim/medium.hpp"
 
 namespace peerhood::net {
@@ -30,10 +31,19 @@ class SimNetwork {
   using DatagramHandler =
       std::function<void(MacAddress from, std::span<const std::uint8_t>)>;
 
-  // First byte of every medium frame carrying a datagram. Public so the
-  // discovery snapshot cache can bake the tag into its shared response
-  // buffers and send them through send_datagram(FramePtr) without a copy.
+  // First *body* byte (after the integrity header, net/frame_check.hpp) of
+  // every medium frame carrying a datagram. Public so the discovery snapshot
+  // cache can bake the header + tag into its shared response buffers and
+  // send them through send_datagram(FramePtr) without a copy.
   static constexpr std::uint8_t kDatagramFrameTag = 0;
+
+  // Receive-side integrity accounting: frames whose length/checksum header
+  // failed verification (bit corruption on the medium) are counted and
+  // dropped before any decoder sees them.
+  struct IntegrityStats {
+    std::uint64_t frames_checked{0};
+    std::uint64_t corrupt_drops{0};
+  };
 
   explicit SimNetwork(sim::RadioMedium& medium);
   ~SimNetwork();
@@ -77,6 +87,10 @@ class SimNetwork {
   // Count of connection pairs not yet fully closed (for tests).
   [[nodiscard]] std::size_t live_connection_count() const;
 
+  [[nodiscard]] const IntegrityStats& integrity_stats() const {
+    return integrity_;
+  }
+
  private:
   friend class SimConnection;
 
@@ -109,6 +123,7 @@ class SimNetwork {
   std::map<std::uint64_t, std::shared_ptr<Pair>> pairs_;
   std::uint64_t next_conn_id_{1};
   SimDuration keepalive_period_{std::chrono::milliseconds{500}};
+  IntegrityStats integrity_;
 };
 
 }  // namespace peerhood::net

@@ -28,8 +28,10 @@ void Channel::attach() {
   // The transport-level handlers capture a raw `this`: the channel owns the
   // connection and detaches these in close()/~Channel, so they can never
   // outlive the channel.
-  connection_->set_data_handler(
-      [this](const Bytes& frame) { data_slot_.invoke(frame); });
+  connection_->set_data_handler([this](const Bytes& frame) {
+    if (absorb_stray_handshake(frame)) return;
+    data_slot_.invoke(frame);
+  });
   connection_->set_close_handler([this] {
     // Transport lost. The session itself stays resumable (§5.2.1); the loss
     // is reported at most once per transport — the latch dedupes reentrant
@@ -41,6 +43,39 @@ void Channel::attach() {
     loss_reported_ = true;
     close_slot_.invoke();
   });
+}
+
+bool Channel::absorb_stray_handshake(const Bytes& frame) {
+  // Dials retransmit their handshake until acknowledged, and the medium may
+  // duplicate frames on its own — so an already-established channel can
+  // receive a late copy of its own handshake (the original was accepted but
+  // the ack was lost) or a duplicated ack. Neither is application data.
+  if (frame.empty()) return false;
+  const auto command = static_cast<wire::Command>(frame[0]);
+  const bool is_request = command == wire::Command::kConnect ||
+                          command == wire::Command::kResume ||
+                          command == wire::Command::kBridge;
+  // Only PH_OK among the acks: a failed dial closes its connection, so a
+  // stray PH_FAIL cannot reach an established channel through the protocol
+  // — but an application payload that merely *looks* like one can, and it
+  // must be delivered opaquely (BridgeTest.BridgeDoesNotInterpretTraffic).
+  if (!is_request && command != wire::Command::kOk) return false;
+  const auto handshake = wire::decode_handshake(frame);
+  if (!handshake.has_value()) return false;
+  if (command == wire::Command::kOk) {
+    // A duplicated PH_OK that arrived after the dial resolved.
+    ++stray_handshakes_absorbed_;
+    return true;
+  }
+  const std::uint64_t id = handshake->command == wire::Command::kBridge
+                               ? handshake->bridge.inner.session_id
+                               : handshake->connect.session_id;
+  if (id != session_id_) return false;
+  // Re-ack so the (possibly bridged) dialer stops retransmitting; the relay
+  // path carries this back exactly like the original acknowledgement.
+  ++stray_handshakes_absorbed_;
+  (void)connection_->write(wire::encode_ok());
+  return true;
 }
 
 Status Channel::write(Bytes frame) {

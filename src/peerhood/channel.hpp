@@ -79,11 +79,18 @@ class Channel {
     return connection_;
   }
 
+  // Duplicate handshakes / acknowledgements this channel swallowed instead
+  // of delivering to the application (dial retransmission + lossy media).
+  [[nodiscard]] std::uint64_t stray_handshakes_absorbed() const {
+    return stray_handshakes_absorbed_;
+  }
+
   // Server side: reconnection parameters pushed by the client (§5.3 Method 2).
   std::optional<wire::ClientParams> client_params;
 
  private:
   void attach();
+  bool absorb_stray_handshake(const Bytes& frame);
 
   std::uint64_t session_id_;
   std::string service_;
@@ -97,6 +104,7 @@ class Channel {
   // Latches after the current transport's loss was reported; reset by
   // replace_connection so each substituted transport reports once.
   bool loss_reported_{false};
+  std::uint64_t stray_handshakes_absorbed_{0};
 };
 
 using ChannelPtr = std::shared_ptr<Channel>;

@@ -28,6 +28,18 @@ struct DaemonConfig {
   // the energy saving", §3.5). Inquiry responses still refresh liveness.
   SimDuration service_check_interval{std::chrono::seconds{30}};
 
+  // Discovery-fetch robustness (fault-plane hardening). A fetch waits
+  // cost * fetch_timeout_mult + fetch_timeout_extra for its response; a
+  // timed-out fetch is re-issued up to fetch_retries more times, spaced by
+  // jittered exponential backoff (fetch_retry_backoff doubling per attempt,
+  // scaled by uniform(1 ± fetch_retry_jitter)), before the responder is
+  // treated as gone for this cycle and its conditional-fetch baseline drops.
+  double fetch_timeout_mult{3.0};
+  SimDuration fetch_timeout_extra{std::chrono::seconds{2}};
+  int fetch_retries{1};
+  SimDuration fetch_retry_backoff{std::chrono::seconds{1}};
+  double fetch_retry_jitter{0.5};
+
   // §3.4.1: fetch device/prototype/service/neighbourhood information through
   // one unified connection instead of four short ones (ablation E10).
   bool unified_fetch{false};

@@ -152,6 +152,21 @@ void Daemon::on_datagram(Technology tech, MacAddress from,
 
 void Daemon::answer_fetch(Technology tech, MacAddress from,
                           const wire::FetchRequest& request) {
+  // Fault-plane duplicate suppression. Shared-id requests are not tracked
+  // (that id never identifies one exchange); everything else repeats the
+  // requester's latest id only when the medium duplicated the datagram.
+  if (request.request_id != wire::kSharedRequestId) {
+    const auto key = std::pair{from.as_u64(), static_cast<std::uint8_t>(tech)};
+    const auto [memo, inserted] = last_request_.emplace(key,
+                                                        request.request_id);
+    if (!inserted) {
+      if (memo->second == request.request_id) {
+        ++duplicate_requests_;
+        return;
+      }
+      memo->second = request.request_id;
+    }
+  }
   // The short fetch connection costs time on the responder too; a unified
   // all-sections exchange is one longer connection (§3.4.1). The reply frame
   // is resolved *now* (the responder serialises its state when it accepts

@@ -5,9 +5,11 @@
 #pragma once
 
 #include <cstdint>
+#include <map>
 #include <memory>
 #include <span>
 #include <string_view>
+#include <utility>
 #include <vector>
 
 #include "common/mac_address.hpp"
@@ -78,6 +80,12 @@ class Daemon {
   [[nodiscard]] wire::SectionGens section_gens() const;
   [[nodiscard]] const SnapshotCache& snapshot_cache() const { return cache_; }
 
+  // Fetch requests duplicated on the medium and dropped by the responder's
+  // suppression memo (answering twice is idempotent but doubles cost).
+  [[nodiscard]] std::uint64_t duplicate_requests() const {
+    return duplicate_requests_;
+  }
+
  private:
   void on_datagram(Technology tech, MacAddress from,
                    std::span<const std::uint8_t> payload);
@@ -95,6 +103,12 @@ class Daemon {
   std::vector<std::unique_ptr<Plugin>> plugins_;
   std::vector<ServiceInfo> services_;
   SnapshotCache cache_{net::SimNetwork::kDatagramFrameTag};
+  // Duplicate-suppression memo: last non-shared request id seen per
+  // (requester, technology). Requesters mint fresh ids per attempt (retries
+  // included), so only a fault-plane duplicate repeats the latest id.
+  std::map<std::pair<std::uint64_t, std::uint8_t>, std::uint32_t>
+      last_request_;
+  std::uint64_t duplicate_requests_{0};
   std::uint64_t epoch_{0};
   std::uint32_t services_gen_{1};
   double load_fraction_{0.0};

@@ -1,5 +1,6 @@
 #include "peerhood/dial.hpp"
 
+#include <algorithm>
 #include <memory>
 #include <utility>
 
@@ -8,6 +9,33 @@
 #include "sim/simulator.hpp"
 
 namespace peerhood {
+
+namespace {
+
+// Handshake frames ride the same lossy medium as application traffic: a
+// single lost request (or lost acknowledgement) must not cost the whole
+// dial timeout. Resend with doubling backoff until the dial resolves; the
+// receiving side re-acks duplicates (Channel::attach), so resends are
+// idempotent end to end — even across a bridge relay.
+// The cadence is capped rather than purely exponential: a bursty link's
+// loss state advances per frame, so sending *more* frames is what walks it
+// out of a burst — backing off to silence would freeze the burst instead.
+constexpr SimDuration kHandshakeRetryBase = std::chrono::milliseconds{1500};
+constexpr SimDuration kHandshakeRetryCap = std::chrono::seconds{6};
+
+void schedule_handshake_retransmit(sim::Simulator& sim,
+                                   std::shared_ptr<net::HalfOpenDial> state,
+                                   Bytes frame, SimDuration delay) {
+  sim.schedule_after(delay, [&sim, state = std::move(state),
+                             frame = std::move(frame), delay]() mutable {
+    if (state->done || state->conn == nullptr) return;
+    (void)state->conn->write(frame);
+    schedule_handshake_retransmit(sim, std::move(state), std::move(frame),
+                                  std::min(delay * 2, kHandshakeRetryCap));
+  });
+}
+
+}  // namespace
 
 void dial_with_ack(net::SimNetwork& network, MacAddress from,
                    const net::NetAddress& hop, Bytes first_frame,
@@ -47,7 +75,9 @@ void dial_with_ack(net::SimNetwork& network, MacAddress from,
         // The state owns the connection while the ack is pending; the
         // handlers below deliberately capture `state`, not the connection.
         state->conn = std::move(result).value();
-        (void)state->conn->write(std::move(first_frame));
+        (void)state->conn->write(first_frame);
+        schedule_handshake_retransmit(*simp, state, std::move(first_frame),
+                                      kHandshakeRetryBase);
         // Await the PH_OK / PH_FAIL chain acknowledgement.
         state->conn->set_close_handler([state, shared_done, simp] {
           if (state->done) return;

@@ -238,7 +238,7 @@ void Plugin::fetch_info(MacAddress target, FetchCallback done) {
 }
 
 void Plugin::fetch_section(MacAddress target, std::uint8_t sections,
-                           SimDuration cost, FetchCallback done) {
+                           SimDuration cost, FetchCallback done, int attempt) {
   ++stats_.fetch_attempts;
   sim::Simulator& sim = daemon_.simulator();
   const sim::TechnologyParams& params =
@@ -277,13 +277,42 @@ void Plugin::fetch_section(MacAddress target, std::uint8_t sections,
   pending.target = target;
   pending.request_id = request_id;
   pending.done = std::move(done);
-  pending.timeout = sim.schedule_after(cost * 3 + seconds(2.0), [this] {
-    if (!pending_.has_value()) return;
-    ++stats_.fetch_timeouts;
-    FetchCallback cb = std::move(pending_->done);
-    pending_.reset();
-    cb(std::nullopt);
-  });
+  const DaemonConfig& cfg = daemon_.config();
+  const SimDuration deadline =
+      seconds(std::chrono::duration<double>(cost).count() *
+              cfg.fetch_timeout_mult) +
+      cfg.fetch_timeout_extra;
+  pending.timeout =
+      sim.schedule_after(deadline, [this, target, sections, cost, attempt] {
+        if (!pending_.has_value()) return;
+        ++stats_.fetch_timeouts;
+        FetchCallback cb = std::move(pending_->done);
+        pending_.reset();
+        const DaemonConfig& cfg = daemon_.config();
+        if (attempt < cfg.fetch_retries) {
+          // Re-ask after a jittered, doubling backoff: a loss burst that ate
+          // the response (or the request) may still be in progress, and
+          // synchronised retries from several requesters would pile onto the
+          // same responder.
+          ++stats_.fetch_retries;
+          sim::Simulator& sim = daemon_.simulator();
+          const double base =
+              std::chrono::duration<double>(cfg.fetch_retry_backoff).count() *
+              static_cast<double>(std::uint64_t{1} << attempt);
+          const double scale = sim.rng().uniform(1.0 - cfg.fetch_retry_jitter,
+                                                 1.0 + cfg.fetch_retry_jitter);
+          sim.schedule_after(
+              seconds(base * scale),
+              [this, token = sentinel_.token(), target, sections, cost,
+               attempt, cb = std::move(cb)]() mutable {
+                if (token.expired() || stopped_) return;
+                fetch_section(target, sections, cost, std::move(cb),
+                              attempt + 1);
+              });
+          return;
+        }
+        cb(std::nullopt);
+      });
   pending_ = std::move(pending);
 }
 
@@ -293,11 +322,13 @@ void Plugin::on_fetch_response(MacAddress from,
   // are matched by peer address instead — a response always arrives (if at
   // all) well inside the pending window, so the address is unambiguous.
   if (!pending_.has_value() || pending_->target != from) {
-    return;  // stale or unsolicited response
+    ++stats_.stale_responses;  // unsolicited, late or duplicated on the air
+    return;
   }
   if (response.request_id != pending_->request_id &&
       response.request_id != wire::kSharedRequestId) {
-    return;  // stale or duplicate response
+    ++stats_.stale_responses;  // answers a fetch we already gave up on
+    return;
   }
   if (!response.not_modified) {
     // Adopt the responder's versions for the sections it shipped. An epoch

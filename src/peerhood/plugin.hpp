@@ -30,6 +30,12 @@ class Plugin {
     std::uint64_t fetch_attempts{0};
     std::uint64_t fetch_failures{0};
     std::uint64_t fetch_timeouts{0};
+    // Timed-out fetches re-issued with backoff (config.fetch_retries), and
+    // responses dropped by duplicate/stale suppression: nothing pending,
+    // wrong peer, or a request id we are no longer waiting for (a late
+    // answer to a retried or completed fetch, or a fault-plane duplicate).
+    std::uint64_t fetch_retries{0};
+    std::uint64_t stale_responses{0};
     std::uint64_t integrations{0};
     std::uint64_t removed_devices{0};
     // Conditional-fetch outcome counters: fetches answered kNotModified
@@ -69,7 +75,7 @@ class Plugin {
   // exchange or the paper's four short exchanges (§3.4.1).
   void fetch_info(MacAddress target, FetchCallback done);
   void fetch_section(MacAddress target, std::uint8_t sections,
-                     SimDuration cost, FetchCallback done);
+                     SimDuration cost, FetchCallback done, int attempt = 0);
   // Samples the link RSSI to `target` (§3.4.1), de-rated by the responder's
   // advertised bridge load when configured (§4). <= 0 means out of range.
   [[nodiscard]] int sampled_quality(MacAddress target,

@@ -27,6 +27,29 @@ constexpr std::uint8_t kFalse = 0;
 // FetchRequest flag bits; unknown bits reject the frame.
 constexpr std::uint8_t kRequestFlagBaseline = 1;
 
+// Enum fields are untrusted input like everything else: a byte outside the
+// enum's domain fails the reader, so the surrounding decoder returns nullopt
+// instead of materialising an enumerator no switch can handle.
+Technology decode_technology(ByteReader& reader) {
+  const std::uint8_t raw = reader.u8();
+  if (raw >= kTechnologyCount) reader.fail();
+  return static_cast<Technology>(raw);
+}
+
+MobilityClass decode_mobility(ByteReader& reader) {
+  switch (reader.u8()) {
+    case static_cast<std::uint8_t>(MobilityClass::kStatic):
+      return MobilityClass::kStatic;
+    case static_cast<std::uint8_t>(MobilityClass::kHybrid):
+      return MobilityClass::kHybrid;
+    case static_cast<std::uint8_t>(MobilityClass::kDynamic):
+      return MobilityClass::kDynamic;
+    default:
+      reader.fail();
+      return MobilityClass::kStatic;
+  }
+}
+
 void encode_connect_body(ByteWriter& writer, const ConnectRequest& request) {
   writer.reserve(16 + request.service.size());
   writer.u64(request.session_id);
@@ -50,7 +73,7 @@ ConnectRequest decode_connect_body(ByteReader& reader) {
   if (reader.u8() == kTrue) {
     ClientParams params;
     params.device = decode_device(reader);
-    params.tech = static_cast<Technology>(reader.u8());
+    params.tech = decode_technology(reader);
     params.reconnect_service = reader.str_view();
     params.port = reader.u16();
     request.client_params = std::move(params);
@@ -81,7 +104,7 @@ NeighbourSnapshotEntry decode_snapshot_entry(ByteReader& reader) {
   entry.device = decode_device(reader);
   const std::size_t proto_count = reader.u8();
   for (std::size_t i = 0; i < proto_count; ++i) {
-    entry.prototypes.push_back(static_cast<Technology>(reader.u8()));
+    entry.prototypes.push_back(decode_technology(reader));
   }
   const std::size_t service_count = reader.u16();
   for (std::size_t i = 0; i < service_count && reader.ok(); ++i) {
@@ -109,7 +132,7 @@ DeviceInfo decode_device(ByteReader& reader) {
   device.mac = MacAddress::from_u64(reader.u64());
   device.name = reader.str_view();
   device.checksum = reader.u32();
-  device.mobility = static_cast<MobilityClass>(reader.u8());
+  device.mobility = decode_mobility(reader);
   return device;
 }
 
@@ -253,7 +276,7 @@ std::optional<FetchResponse> decode_fetch_response(
     response.gens.prototypes = reader.u32();
     const std::size_t count = reader.u8();
     for (std::size_t i = 0; i < count; ++i) {
-      response.prototypes.push_back(static_cast<Technology>(reader.u8()));
+      response.prototypes.push_back(decode_technology(reader));
     }
   }
   if ((response.sections & kSectionServices) != 0) {

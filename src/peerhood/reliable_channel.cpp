@@ -1,5 +1,7 @@
 #include "peerhood/reliable_channel.hpp"
 
+#include <algorithm>
+
 #include "common/bytes.hpp"
 
 namespace peerhood {
@@ -14,19 +16,20 @@ constexpr std::uint8_t kTagAck = 0xD2;
 
 ReliableChannel::ReliableChannel(sim::Simulator& sim, ChannelPtr channel,
                                  ReliableConfig config)
-    : sim_{sim}, channel_{std::move(channel)}, config_{config} {
+    : sim_{sim},
+      channel_{std::move(channel)},
+      config_{config},
+      rto_{config.retransmit_interval} {
   channel_->set_data_handler([this](const Bytes& frame) { on_frame(frame); });
   channel_->set_handover_handler(
       [this](const net::ConnectionPtr&) { resync(); });
-  retransmit_timer_.start(sim_, config_.retransmit_interval,
-                          [this] { retransmit_tail(); },
-                          config_.retransmit_interval);
 }
 
 ReliableChannel::~ReliableChannel() { shutdown(); }
 
 void ReliableChannel::shutdown() {
-  retransmit_timer_.stop();
+  sim_.cancel(retransmit_event_);
+  retransmit_event_ = sim::kInvalidEvent;
   sim_.cancel(ack_timer_);
   ack_timer_ = sim::kInvalidEvent;
   ack_pending_ = false;
@@ -46,6 +49,7 @@ Status ReliableChannel::send(Bytes frame) {
   const std::uint64_t seq = next_seq_++;
   outbox_.emplace(seq, frame);
   transmit(seq, frame);
+  if (retransmit_event_ == sim::kInvalidEvent) arm_retransmit();
   return Status::ok_status();
 }
 
@@ -70,6 +74,7 @@ void ReliableChannel::on_frame(const Bytes& frame) {
     const std::uint64_t seq = reader.u64();
     Bytes payload = reader.blob();
     if (!reader.ok()) return;
+    const bool in_order = seq == expected_;
     if (seq >= expected_) {
       reorder_.emplace(seq, std::move(payload));
       // Deliver the contiguous prefix.
@@ -81,7 +86,12 @@ void ReliableChannel::on_frame(const Bytes& frame) {
         data_slot_.invoke(next);
       }
     }
-    // Duplicate or old frame: just (re)ack.
+    if (!in_order) {
+      // A gap, a duplicate or an old frame: ack immediately so the sender
+      // sees duplicate cumulative acks and can fast-retransmit the hole.
+      flush_ack();
+      return;
+    }
     if (!ack_pending_) {
       ack_pending_ = true;
       ack_timer_ = sim_.schedule_after(config_.ack_delay,
@@ -92,13 +102,34 @@ void ReliableChannel::on_frame(const Bytes& frame) {
   if (tag == kTagAck) {
     const std::uint64_t cumulative = reader.u64();
     if (!reader.ok()) return;
-    // Everything below `cumulative` is delivered at the peer.
-    outbox_.erase(outbox_.begin(), outbox_.lower_bound(cumulative));
+    on_ack(cumulative);
     return;
   }
 }
 
+void ReliableChannel::on_ack(std::uint64_t cumulative) {
+  if (cumulative < highest_ack_) return;  // reordered stale ack: ignore
+  if (cumulative > highest_ack_) {
+    // Progress: everything below `cumulative` is delivered at the peer.
+    highest_ack_ = cumulative;
+    dup_acks_ = 0;
+    outbox_.erase(outbox_.begin(), outbox_.lower_bound(cumulative));
+    rto_ = config_.retransmit_interval;
+    arm_retransmit();
+    return;
+  }
+  // Duplicate cumulative ack: the peer is stuck at a hole we can fill.
+  if (outbox_.empty() || config_.dup_ack_threshold <= 0) return;
+  if (++dup_acks_ < config_.dup_ack_threshold) return;
+  dup_acks_ = 0;
+  ++fast_retransmits_;
+  ++retransmissions_;
+  transmit(outbox_.begin()->first, outbox_.begin()->second);
+}
+
 void ReliableChannel::flush_ack() {
+  sim_.cancel(ack_timer_);
+  ack_timer_ = sim::kInvalidEvent;
   ack_pending_ = false;
   ByteWriter writer;
   writer.u8(kTagAck);
@@ -106,23 +137,39 @@ void ReliableChannel::flush_ack() {
   (void)channel_->write(std::move(writer).take());
 }
 
-void ReliableChannel::retransmit_tail() {
-  if (!channel_->open()) return;
-  for (const auto& [seq, payload] : outbox_) {
-    ++retransmissions_;
-    transmit(seq, payload);
+void ReliableChannel::arm_retransmit() {
+  sim_.cancel(retransmit_event_);
+  retransmit_event_ = sim::kInvalidEvent;
+  if (outbox_.empty()) return;
+  retransmit_event_ = sim_.schedule_after(rto_, [this] {
+    retransmit_event_ = sim::kInvalidEvent;
+    retransmit_outstanding();
+  });
+}
+
+void ReliableChannel::retransmit_outstanding() {
+  if (channel_->open()) {
+    for (const auto& [seq, payload] : outbox_) {
+      ++retransmissions_;
+      transmit(seq, payload);
+    }
   }
+  // No progress since the last arm: back off so a dead or partitioned link
+  // is probed gently; the next genuine ack resets to the base interval.
+  rto_ = std::min(rto_ + rto_, config_.retransmit_cap);
+  arm_retransmit();
 }
 
 void ReliableChannel::resync() {
-  if (ack_pending_) {
-    sim_.cancel(ack_timer_);
-    flush_ack();
-  }
+  if (ack_pending_) flush_ack();
+  // The substituted connection is fresh; restart probing at the base rate.
+  rto_ = config_.retransmit_interval;
+  dup_acks_ = 0;
   for (const auto& [seq, payload] : outbox_) {
     ++retransmissions_;
     transmit(seq, payload);
   }
+  arm_retransmit();
 }
 
 }  // namespace peerhood

@@ -11,10 +11,21 @@
 // on a timer to amortise the cost the paper worried about ("the
 // implementation of Data Transferring Acknowledge is too costly due to the
 // small size of packet").
+//
+// Loss hardening (fault plane, sim/fault.hpp):
+//  * Acks are out-of-order tolerant — a reordered (older) cumulative ack is
+//    ignored instead of regressing the sender's view.
+//  * A receiver holding a gap flushes its ack immediately instead of
+//    batching; the resulting duplicate acks trigger a fast retransmit of
+//    the first unacked frame after `dup_ack_threshold` repeats, well before
+//    the retransmit timer fires.
+//  * The retransmit timer backs off exponentially (doubling up to
+//    `retransmit_cap`) while no progress is made and resets to the base
+//    interval on every new ack, so a dead link is probed gently and a
+//    healed one recovers at full speed.
 #pragma once
 
 #include <cstdint>
-#include <deque>
 #include <functional>
 #include <map>
 
@@ -27,8 +38,13 @@ namespace peerhood {
 struct ReliableConfig {
   // Delay before a cumulative ack is flushed (batching small packets).
   SimDuration ack_delay{std::chrono::milliseconds{200}};
-  // Retransmit unacked frames at this interval while the channel is open.
+  // Base retransmit timeout; doubles on every timer-driven retransmission
+  // round without progress, capped at retransmit_cap.
   SimDuration retransmit_interval{std::chrono::seconds{5}};
+  SimDuration retransmit_cap{std::chrono::seconds{40}};
+  // Consecutive duplicate cumulative acks that trigger a fast retransmit of
+  // the first unacked frame. 0 disables fast retransmit.
+  int dup_ack_threshold{3};
   // Maximum buffered-but-unacked frames before write() refuses.
   std::size_t window{256};
 };
@@ -56,6 +72,9 @@ class ReliableChannel {
   [[nodiscard]] std::uint64_t retransmissions() const {
     return retransmissions_;
   }
+  [[nodiscard]] std::uint64_t fast_retransmits() const {
+    return fast_retransmits_;
+  }
 
   // Flushes any pending ack and retransmits the unacked tail immediately —
   // called automatically after a handover, exposed for tests.
@@ -68,9 +87,13 @@ class ReliableChannel {
 
  private:
   void on_frame(const Bytes& frame);
+  void on_ack(std::uint64_t cumulative);
   void flush_ack();
-  void retransmit_tail();
+  void retransmit_outstanding();
   void transmit(std::uint64_t seq, const Bytes& payload);
+  // (Re)arms the one-shot retransmit timer at the current rto_; disarms when
+  // the outbox is empty.
+  void arm_retransmit();
 
   sim::Simulator& sim_;
   ChannelPtr channel_;
@@ -80,7 +103,10 @@ class ReliableChannel {
   // Sender state.
   std::uint64_t next_seq_{1};
   std::map<std::uint64_t, Bytes> outbox_;  // unacked frames by sequence
-  sim::PeriodicTask retransmit_timer_;
+  std::uint64_t highest_ack_{1};  // largest cumulative ack seen from the peer
+  int dup_acks_{0};
+  SimDuration rto_{};  // current (backed-off) retransmit timeout
+  sim::EventId retransmit_event_{sim::kInvalidEvent};
 
   // Receiver state.
   std::uint64_t expected_{1};
@@ -90,6 +116,7 @@ class ReliableChannel {
   sim::EventId ack_timer_{sim::kInvalidEvent};
 
   std::uint64_t retransmissions_{0};
+  std::uint64_t fast_retransmits_{0};
 };
 
 }  // namespace peerhood

@@ -1,6 +1,7 @@
 #include "peerhood/snapshot_cache.hpp"
 
 #include "discovery/analyzer.hpp"
+#include "net/frame_check.hpp"
 
 namespace peerhood {
 
@@ -25,7 +26,16 @@ bool SnapshotCache::sections_equal(std::uint8_t sections,
 SnapshotCache::FramePtr SnapshotCache::encode_frame(
     const wire::FetchResponse& response) const {
   ByteWriter writer;
-  if (prefix_.has_value()) writer.u8(*prefix_);
+  if (prefix_.has_value()) {
+    // Datagram-ready frame: sealed integrity header + tag + body, baked in
+    // once so every requester at this generation ships the same allocation.
+    net::begin_frame(writer);
+    writer.u8(*prefix_);
+    wire::encode_into(writer, response);
+    Bytes frame = std::move(writer).take();
+    net::seal_frame(frame);
+    return std::make_shared<const Bytes>(std::move(frame));
+  }
   wire::encode_into(writer, response);
   return std::make_shared<const Bytes>(std::move(writer).take());
 }

@@ -474,8 +474,39 @@ void ScenarioRunner::schedule_churn() {
       seconds(spec_.churn_interval_s));
 }
 
+void ScenarioRunner::install_faults() {
+  if (spec_.faults.empty()) return;
+  sim::LinkFaultModel& faults = testbed_->medium().fault_plane();
+  for (const FaultScheduleSpec::TechProfile& entry : spec_.faults.profiles) {
+    faults.set_profile(entry.tech, entry.profile);
+  }
+  if (spec_.faults.partitions.empty()) return;
+  const SimTime base = testbed_->sim().now();
+  const auto resolve = [this](const std::vector<std::string>& prefixes) {
+    std::vector<MacAddress> macs;
+    for (node::Node* node : testbed_->nodes()) {
+      for (const std::string& prefix : prefixes) {
+        if (node->name().rfind(prefix, 0) == 0) {
+          macs.push_back(node->mac());
+          break;
+        }
+      }
+    }
+    return macs;
+  };
+  for (const FaultScheduleSpec::Partition& cut : spec_.faults.partitions) {
+    sim::LinkFaultModel::Blackout window;
+    window.start = base + seconds(cut.start_s);
+    window.duration = seconds(cut.duration_s);
+    window.side_a = resolve(cut.side_a);
+    window.side_b = resolve(cut.side_b);
+    faults.schedule_blackout(window);
+  }
+}
+
 void ScenarioRunner::run() {
   if (!ready_) return;
+  install_faults();
   testbed_->run_for(spec_.duration_s);
 
   metrics_.sessions.clear();
@@ -504,6 +535,12 @@ void ScenarioRunner::run() {
   metrics_.quality_observer_evals =
       testbed_->medium().quality_stats().observer_evals -
       observer_evals_baseline_;
+  // Faults install at the body start, so lifetime totals ARE body totals.
+  if (testbed_->medium().has_fault_plane()) {
+    metrics_.fault_stats = testbed_->medium().fault_plane().stats();
+  }
+  metrics_.corrupt_frames_dropped =
+      testbed_->network().integrity_stats().corrupt_drops;
 }
 
 // --- Canned scenarios --------------------------------------------------------

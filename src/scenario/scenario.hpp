@@ -17,6 +17,7 @@
 
 #include "handover/handover.hpp"
 #include "node/testbed.hpp"
+#include "sim/fault.hpp"
 #include "sim/mobility.hpp"
 
 namespace peerhood::scenario {
@@ -97,6 +98,35 @@ struct SessionSpec {
   handover::HandoverConfig handover_config{};
 };
 
+// Declarative fault plane (sim/fault.hpp): per-technology link-fault
+// profiles plus scheduled blackouts/partitions, installed on the medium when
+// run() starts. Setup and the discovery warm-up stay fault-free, so every
+// scenario enters its body from a converged neighbourhood and the faults hit
+// an established steady state — the recovery behaviour under test.
+struct FaultScheduleSpec {
+  struct TechProfile {
+    Technology tech{Technology::kBluetooth};
+    sim::FaultProfile profile{};
+  };
+  // Node sets are name prefixes ("anchor" covers anchor0, anchor1, ...),
+  // resolved against the testbed at install time. Empty side_a = every node.
+  // Empty side_b = the side_a set goes silent; otherwise only links between
+  // the two sides are cut (a network partition). Times are relative to the
+  // start of the scenario body.
+  struct Partition {
+    std::vector<std::string> side_a;
+    std::vector<std::string> side_b;
+    double start_s{0.0};
+    double duration_s{10.0};
+  };
+  std::vector<TechProfile> profiles;
+  std::vector<Partition> partitions;
+
+  [[nodiscard]] bool empty() const {
+    return profiles.empty() && partitions.empty();
+  }
+};
+
 struct ScenarioSpec {
   std::string name;
   std::uint64_t seed{1};
@@ -112,6 +142,10 @@ struct ScenarioSpec {
   // `churn_downtime_s`. 0 = no churn.
   double churn_interval_s{0.0};
   double churn_downtime_s{10.0};
+  // Fault plane for the scenario body; empty = pristine medium (the fault
+  // model is never even constructed, so fault-free runs draw identical RNG
+  // streams to builds that predate the fault plane).
+  FaultScheduleSpec faults{};
 };
 
 struct SessionMetrics {
@@ -141,6 +175,11 @@ struct ScenarioMetrics {
   std::uint64_t medium_frame_bytes{0};
   std::uint64_t quality_observer_evals{0};
   std::uint64_t quality_events{0};
+  // Per-kind fault-plane counters over the body (all zero when
+  // ScenarioSpec::faults is empty). Part of the determinism contract: the
+  // same (seed, fault schedule) must reproduce these exactly.
+  sim::FaultStats fault_stats{};
+  std::uint64_t corrupt_frames_dropped{0};
 
   [[nodiscard]] std::uint64_t total_sent() const;
   [[nodiscard]] std::uint64_t total_received() const;
@@ -185,6 +224,9 @@ class ScenarioRunner {
   void note_outage_start(Session& session);
   void note_outage_end(Session& session);
   void schedule_churn();
+  // Installs spec_.faults on the medium (called at the top of run(), so the
+  // body — not the warm-up — runs under fault injection).
+  void install_faults();
 
   ScenarioSpec spec_;
   std::unique_ptr<node::Testbed> testbed_;

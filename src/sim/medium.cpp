@@ -521,13 +521,41 @@ std::vector<MacAddress> RadioMedium::discoverable_in_range(
   std::vector<const Endpoint*> hits;
   collect_in_range(*origin, ts, hits);
   out.reserve(hits.size());
+  // A blackout partition silences inquiry responses across the cut too —
+  // otherwise discovery would keep "seeing" devices no frame can reach.
+  const bool blackout =
+      faults_ != nullptr && faults_->blackout_possible(sim_.now());
+  const Vec2 origin_pos = blackout ? cached_position(*origin) : Vec2{};
   for (const Endpoint* e : hits) {
     if (!e->discoverable) continue;
     // Bluetooth asymmetry: a device busy inquiring does not answer inquiries.
     if (asymmetric && e->inquiring) continue;
+    if (blackout && faults_->blacked_out(mac, e->mac, sim_.now(), origin_pos,
+                                         cached_position(*e))) {
+      continue;
+    }
     out.push_back(e->mac);
   }
   return out;
+}
+
+LinkFaultModel& RadioMedium::fault_plane() {
+  if (faults_ == nullptr) {
+    faults_ = std::make_unique<LinkFaultModel>(sim_.fork_rng());
+  }
+  return *faults_;
+}
+
+bool RadioMedium::link_blacked_out(MacAddress a, MacAddress b,
+                                   Technology tech) const {
+  if (faults_ == nullptr || !faults_->blackout_possible(sim_.now())) {
+    return false;
+  }
+  const Endpoint* ea = find(a, tech);
+  const Endpoint* eb = find(b, tech);
+  if (ea == nullptr || eb == nullptr) return false;
+  return faults_->blacked_out(a, b, sim_.now(), cached_position(*ea),
+                              cached_position(*eb));
 }
 
 void RadioMedium::send_frame(MacAddress from, MacAddress to, Technology tech,
@@ -544,36 +572,70 @@ void RadioMedium::send_frame(MacAddress from, MacAddress to, Technology tech,
     ++stats_.drops;
     return;
   }
-  const SimDuration tx_time =
-      seconds(static_cast<double>(frame->size()) / p.bytes_per_second);
-  SimTime deliver_at = sim_.now() + p.per_hop_latency + tx_time;
-
-  const auto dir_key = std::tuple{from.as_u64(), to.as_u64(),
-                                  static_cast<std::uint8_t>(tech)};
-  auto& last = last_delivery_[dir_key];
-  if (deliver_at <= last) deliver_at = last + microseconds(1);
-  last = deliver_at;
-  if (last_delivery_.size() >= last_delivery_sweep_limit_) {
-    age_last_delivery();
-  }
-
-  auto deliver = [this, from, to, tech, frame = std::move(frame)]() {
-    // Positions have moved since send time; one cached re-check decides
-    // delivery (drop if either side is gone or out of coverage).
-    const Endpoint* sender = find(from, tech);
-    const Endpoint* receiver = find(to, tech);
-    if (sender == nullptr || receiver == nullptr ||
-        !within_range(cached_position(*sender), cached_position(*receiver),
-                      params(tech).range_m)) {
+  FaultDecision fault{};
+  if (faults_ != nullptr) {
+    // Degradation for the quality coupling: 0 at full quality, 1 at the
+    // coverage edge (out-of-range frames never reach this point).
+    const LinkCacheEntry& link = link_cache_entry(*from_e, *to_e);
+    const double span = std::max(
+        1.0, static_cast<double>(quality_model_.q_max - quality_model_.q_edge));
+    const double degradation = std::clamp(
+        (static_cast<double>(quality_model_.q_max) - link.base) / span, 0.0,
+        1.0);
+    fault = faults_->judge(from, to, tech, degradation, sim_.now(),
+                           cached_position(*from_e), cached_position(*to_e));
+    if (fault.drop) {
       ++stats_.drops;
       return;
     }
-    if (receiver->handler) receiver->handler(from, *frame);
-  };
-  // The whole point of the FramePtr scheme: a delivery event must fit the
-  // event queue's inline buffer, so the per-frame hot path never allocates.
-  static_assert(sizeof(deliver) <= InlineCallable::kInlineSize);
-  sim_.schedule_at(deliver_at, std::move(deliver));
+    if (fault.corrupt) {
+      // Never mutate the shared buffer — other queued deliveries (and the
+      // sender's cache) may reference the same allocation.
+      Bytes mangled = *frame;
+      faults_->corrupt(mangled);
+      frame = std::make_shared<const Bytes>(std::move(mangled));
+    }
+  }
+
+  const SimDuration tx_time =
+      seconds(static_cast<double>(frame->size()) / p.bytes_per_second);
+  const int copies = fault.duplicate ? 2 : 1;
+  for (int copy = 0; copy < copies; ++copy) {
+    SimTime deliver_at =
+        sim_.now() + p.per_hop_latency + tx_time + fault.extra_delay;
+    if (copy == 1) deliver_at = deliver_at + fault.duplicate_lag;
+
+    if (!fault.reorder) {
+      const auto dir_key = std::tuple{from.as_u64(), to.as_u64(),
+                                      static_cast<std::uint8_t>(tech)};
+      auto& last = last_delivery_[dir_key];
+      if (deliver_at <= last) deliver_at = last + microseconds(1);
+      last = deliver_at;
+      if (last_delivery_.size() >= last_delivery_sweep_limit_) {
+        age_last_delivery();
+      }
+    }
+    // A reordered frame is exempt from the in-order bump: its extra delay
+    // lets frames sent after it overtake it, which is the whole point.
+
+    auto deliver = [this, from, to, tech, frame]() {
+      // Positions have moved since send time; one cached re-check decides
+      // delivery (drop if either side is gone or out of coverage).
+      const Endpoint* sender = find(from, tech);
+      const Endpoint* receiver = find(to, tech);
+      if (sender == nullptr || receiver == nullptr ||
+          !within_range(cached_position(*sender), cached_position(*receiver),
+                        params(tech).range_m)) {
+        ++stats_.drops;
+        return;
+      }
+      if (receiver->handler) receiver->handler(from, *frame);
+    };
+    // The whole point of the FramePtr scheme: a delivery event must fit the
+    // event queue's inline buffer, so the per-frame hot path never allocates.
+    static_assert(sizeof(deliver) <= InlineCallable::kInlineSize);
+    sim_.schedule_at(deliver_at, std::move(deliver));
+  }
 }
 
 void RadioMedium::age_last_delivery() {

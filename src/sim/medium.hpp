@@ -32,6 +32,7 @@
 
 #include "common/bytes.hpp"
 #include "common/mac_address.hpp"
+#include "sim/fault.hpp"
 #include "sim/mobility.hpp"
 #include "sim/radio.hpp"
 #include "sim/simulator.hpp"
@@ -218,6 +219,18 @@ class RadioMedium {
   void send_frame(MacAddress from, MacAddress to, Technology tech,
                   FramePtr frame);
 
+  // --- Fault injection -------------------------------------------------------
+  // Lazily creates the fault plane. The dedicated RNG stream is forked on
+  // first use, so runs that never touch the plane draw exactly the seed
+  // sequences they always did (fault-free regression stays bit-stable).
+  [[nodiscard]] LinkFaultModel& fault_plane();
+  [[nodiscard]] bool has_fault_plane() const { return faults_ != nullptr; }
+  // True while an active blackout window silences the (a, b) link. The
+  // connection-establishment path and the inquiry plane honour partitions
+  // too, not just in-flight data frames.
+  [[nodiscard]] bool link_blacked_out(MacAddress a, MacAddress b,
+                                      Technology tech) const;
+
   // Evicts `last_delivery_` entries whose delivery time has already passed —
   // they can no longer influence in-order bumping, since every new delivery
   // lands at or after `now`. Invoked automatically once the map crosses a
@@ -354,6 +367,9 @@ class RadioMedium {
   std::size_t last_delivery_sweep_limit_{kLastDeliveryMinSweep};
   static constexpr std::size_t kLastDeliveryMinSweep = 64;
   TrafficStats stats_;
+  // Null until fault_plane() is first called; the per-frame hot path pays
+  // one pointer test when no faults were ever configured.
+  std::unique_ptr<LinkFaultModel> faults_;
 
   // --- Link-quality plane ---------------------------------------------------
   std::vector<QualityObserver> observers_;

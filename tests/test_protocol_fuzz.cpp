@@ -1,0 +1,146 @@
+// Decoder fuzz robustness (runs under ASan/UBSan in CI's sanitize job):
+// every protocol.* decoder must survive arbitrary byte soup and single-bit
+// mutations of valid frames without crashing, overflowing, or fabricating
+// out-of-domain enum values. Decoders either return nullopt or a value whose
+// enum fields are in range — never anything in between.
+#include <gtest/gtest.h>
+
+#include <cstddef>
+
+#include "common/rng.hpp"
+#include "peerhood/protocol.hpp"
+
+namespace peerhood::wire {
+namespace {
+
+void check_decoded_domain(const std::optional<FetchResponse>& response) {
+  if (!response.has_value()) return;
+  for (const Technology tech : response->prototypes) {
+    EXPECT_LT(static_cast<std::size_t>(tech), kTechnologyCount);
+  }
+  for (const NeighbourSnapshotEntry& entry : response->neighbours) {
+    for (const Technology tech : entry.prototypes) {
+      EXPECT_LT(static_cast<std::size_t>(tech), kTechnologyCount);
+    }
+    const auto mobility = static_cast<std::uint8_t>(entry.device.mobility);
+    EXPECT_TRUE(mobility == 0 || mobility == 1 || mobility == 3);
+  }
+}
+
+void decode_everything(std::span<const std::uint8_t> bytes) {
+  (void)peek_command(bytes);
+  (void)decode_handshake(bytes);
+  (void)decode_fetch_request(bytes);
+  check_decoded_domain(decode_fetch_response(bytes));
+}
+
+Bytes sample_fetch_response() {
+  FetchResponse response;
+  response.request_id = 7;
+  response.sections = kSectionAll;
+  response.load_percent = 40;
+  response.epoch = 11;
+  response.gens = SectionGens{1, 2, 3, 4};
+  response.device = DeviceInfo{MacAddress::from_index(9), "device-nine",
+                               0x1234, MobilityClass::kDynamic};
+  response.prototypes = {Technology::kBluetooth, Technology::kWlan};
+  response.services = {ServiceInfo{"print", "attr", 19},
+                       ServiceInfo{"task", "", 23}};
+  NeighbourSnapshotEntry entry;
+  entry.device = DeviceInfo{MacAddress::from_index(12), "neighbour", 0x99,
+                            MobilityClass::kStatic};
+  entry.prototypes = {Technology::kGprs};
+  entry.services = {ServiceInfo{"relay", "client", 5}};
+  entry.jump = 1;
+  entry.bridge = MacAddress::from_index(9);
+  entry.quality_sum = 200;
+  entry.min_link_quality = 180;
+  response.neighbours = {entry};
+  return encode(response);
+}
+
+Bytes sample_bridge_handshake() {
+  ConnectRequest inner;
+  inner.session_id = 42;
+  inner.service = "print";
+  ClientParams params;
+  params.device = DeviceInfo{MacAddress::from_index(3), "client-three", 0x42,
+                             MobilityClass::kHybrid};
+  params.tech = Technology::kWlan;
+  params.reconnect_service = "client.result";
+  params.port = 88;
+  inner.client_params = params;
+  BridgeRequest bridge;
+  bridge.destination = MacAddress::from_index(9);
+  bridge.final_command = Command::kResume;
+  bridge.inner = inner;
+  return encode_bridge(bridge);
+}
+
+Bytes sample_fetch_request() {
+  FetchRequest request;
+  request.request_id = 3;
+  request.sections = kSectionNeighbours | kSectionDevice;
+  request.baseline = FetchBaseline{5, SectionGens{1, 1, 2, 9}};
+  return encode(request);
+}
+
+TEST(ProtocolFuzz, RandomBytesNeverCrashDecoders) {
+  Rng rng{0xF0221E5};
+  for (int round = 0; round < 4000; ++round) {
+    const auto size = static_cast<std::size_t>(rng.uniform_int(0, 96));
+    Bytes bytes(size, 0);
+    for (auto& b : bytes) {
+      b = static_cast<std::uint8_t>(rng.uniform_int(0, 255));
+    }
+    decode_everything(bytes);
+  }
+}
+
+TEST(ProtocolFuzz, BitFlippedValidFramesNeverCrashDecoders) {
+  const Bytes samples[] = {sample_fetch_response(), sample_fetch_request(),
+                           sample_bridge_handshake(), encode_ok(),
+                           encode_fail(ErrorCode::kProtocolError, "boom"),
+                           encode_connect(ConnectRequest{1, "svc", {}})};
+  for (const Bytes& sample : samples) {
+    // The pristine frame must decode (sanity), then every single-bit
+    // mutation must be survivable.
+    decode_everything(sample);
+    for (std::size_t bit = 0; bit < sample.size() * 8; ++bit) {
+      Bytes mutated = sample;
+      mutated[bit / 8] ^= static_cast<std::uint8_t>(1u << (bit % 8));
+      decode_everything(mutated);
+    }
+  }
+}
+
+TEST(ProtocolFuzz, TruncationsNeverCrashDecoders) {
+  const Bytes samples[] = {sample_fetch_response(), sample_fetch_request(),
+                           sample_bridge_handshake()};
+  for (const Bytes& sample : samples) {
+    for (std::size_t len = 0; len < sample.size(); ++len) {
+      decode_everything({sample.data(), len});
+    }
+  }
+}
+
+TEST(ProtocolFuzz, OutOfDomainEnumBytesRejectTheFrame) {
+  // Corrupt the mobility byte of the device section to an undefined value:
+  // the decoder must reject the whole frame, not materialise enum garbage.
+  FetchResponse response;
+  response.request_id = 1;
+  response.sections = kSectionDevice;
+  response.epoch = 1;
+  response.gens = SectionGens{1, 1, 1, 1};
+  response.device = DeviceInfo{MacAddress::from_index(2), "d", 0,
+                               MobilityClass::kStatic};
+  Bytes frame = encode(response);
+  ASSERT_TRUE(decode_fetch_response(frame).has_value());
+  // The mobility byte is the last byte of the device record (see
+  // encode_device); for a kSectionDevice-only response it is the final byte.
+  frame.back() = 0x7F;
+  EXPECT_FALSE(decode_fetch_response(frame).has_value());
+}
+
+}  // namespace
+}  // namespace peerhood::wire

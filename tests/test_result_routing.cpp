@@ -213,7 +213,8 @@ TEST_F(ResultRoutingTest, GivesUpWhenClientUnreachable) {
 
   ResultRouterConfig config;
   config.max_attempts = 2;
-  config.retry_delay = seconds(5.0);
+  config.retry_base = seconds(5.0);
+  config.retry_jitter = 0.0;
   ResultRouter router{server_->library(), config};
   std::optional<Status> status;
   router.deliver(server_channel_, Bytes{1}, [&](Status s) { status = s; });

@@ -450,7 +450,7 @@ TEST(TeardownScenario, MigrationActorsDestroyedMidFlight) {
   auto& client = testbed.add_node("client", {0.0, 0.0},
                                   fast_node(MobilityClass::kDynamic));
   TaskServerConfig server_config;
-  server_config.result_routing.retry_delay = seconds(5.0);
+  server_config.result_routing.retry_base = seconds(5.0);
   auto task_server = std::make_unique<TaskServer>(server.library(),
                                                   server_config);
   task_server->start();
