@@ -40,7 +40,7 @@ sim::FaultProfile full_chaos() {
   return profile;
 }
 
-enum class Tier { kNone, kLoss, kChaos, kChaosCut };
+enum class Tier { kNone, kLoss, kChaos, kChaosCut, kCrash, kChaosCrash };
 
 const char* tier_name(Tier tier) {
   switch (tier) {
@@ -48,8 +48,14 @@ const char* tier_name(Tier tier) {
     case Tier::kLoss: return "loss";
     case Tier::kChaos: return "chaos";
     case Tier::kChaosCut: return "chaos+cut";
+    case Tier::kCrash: return "crash";
+    case Tier::kChaosCrash: return "chaos+crash";
   }
   return "?";
+}
+
+bool is_crash_tier(Tier tier) {
+  return tier == Tier::kCrash || tier == Tier::kChaosCrash;
 }
 
 // The partition isolates the session servers from everything else for 10 s
@@ -58,7 +64,7 @@ scenario::FaultScheduleSpec tier_schedule(Tier tier,
                                           std::vector<std::string> servers,
                                           std::vector<std::string> rest) {
   scenario::FaultScheduleSpec faults;
-  if (tier == Tier::kNone) return faults;
+  if (tier == Tier::kNone || tier == Tier::kCrash) return faults;
   faults.profiles.push_back(
       {Technology::kBluetooth, tier == Tier::kLoss ? bursty_loss()
                                                    : full_chaos()});
@@ -71,6 +77,31 @@ scenario::FaultScheduleSpec tier_schedule(Tier tier,
     faults.partitions.push_back(cut);
   }
   return faults;
+}
+
+// The crash tiers hard-kill the session servers 30 s into the body and
+// restart them 10 s later; the sessions run crash-tolerant (reliable layer,
+// journalled resume, no provider reconnection) — the recovery path is what
+// the cell measures.
+scenario::CrashScheduleSpec tier_crashes(Tier tier,
+                                         std::vector<std::string> servers) {
+  scenario::CrashScheduleSpec crashes;
+  if (!is_crash_tier(tier)) return crashes;
+  scenario::CrashScheduleSpec::Crash crash;
+  crash.targets = std::move(servers);
+  crash.at_s = 30.0;
+  crash.downtime_s = 10.0;
+  crashes.crashes.push_back(crash);
+  return crashes;
+}
+
+void make_crash_tolerant(scenario::ScenarioSpec& spec) {
+  for (scenario::SessionSpec& session : spec.sessions) {
+    session.reliable = true;
+    session.handover_config.reconnection_enabled = false;
+    session.handover_config.direct_resume_enabled = true;
+    session.handover_config.max_dead_link_passes = 1000;
+  }
 }
 
 // --- Matrix ------------------------------------------------------------------
@@ -88,6 +119,9 @@ struct ChaosCell {
   std::uint64_t medium_frames{0};
   sim::FaultStats faults;
   std::uint64_t corrupt_dropped{0};
+  std::uint64_t restart_resumes{0};
+  std::uint64_t dup_or_reorder{0};
+  std::uint64_t gaps{0};
 };
 
 struct ScenarioRow {
@@ -116,6 +150,8 @@ ChaosCell run_cell(const ScenarioRow& row, Tier tier, int trials) {
        ++seed) {
     scenario::ScenarioSpec spec = row.factory(seed);
     spec.faults = tier_schedule(tier, row.servers, row.rest);
+    spec.crashes = tier_crashes(tier, row.servers);
+    if (is_crash_tier(tier)) make_crash_tolerant(spec);
     scenario::ScenarioRunner runner{std::move(spec)};
     const Status status = runner.setup();
     if (!status.ok()) {
@@ -135,6 +171,8 @@ ChaosCell run_cell(const ScenarioRow& row, Tier tier, int trials) {
     for (const scenario::SessionMetrics& s : m.sessions) {
       cell.reconnections += s.reconnections;
       cell.restarts += s.restarts;
+      cell.dup_or_reorder += s.dup_or_reorder;
+      cell.gaps += s.gaps;
     }
     cell.faults.frames_seen += m.fault_stats.frames_seen;
     cell.faults.loss_drops += m.fault_stats.loss_drops;
@@ -143,7 +181,10 @@ ChaosCell run_cell(const ScenarioRow& row, Tier tier, int trials) {
     cell.faults.duplicated += m.fault_stats.duplicated;
     cell.faults.reordered += m.fault_stats.reordered;
     cell.faults.burst_entries += m.fault_stats.burst_entries;
+    cell.faults.node_crashes += m.fault_stats.node_crashes;
+    cell.faults.node_restarts += m.fault_stats.node_restarts;
     cell.corrupt_dropped += m.corrupt_frames_dropped;
+    cell.restart_resumes += m.restart_resumes;
   }
   return cell;
 }
@@ -180,7 +221,12 @@ void emit_cell(const ChaosCell& cell) {
       .field("duplicated", cell.faults.duplicated)
       .field("reordered", cell.faults.reordered)
       .field("burst_entries", cell.faults.burst_entries)
-      .field("corrupt_dropped", cell.corrupt_dropped);
+      .field("corrupt_dropped", cell.corrupt_dropped)
+      .field("node_crashes", cell.faults.node_crashes)
+      .field("node_restarts", cell.faults.node_restarts)
+      .field("restart_resumes", cell.restart_resumes)
+      .field("dup_or_reorder", cell.dup_or_reorder)
+      .field("gaps", cell.gaps);
   record.emit();
 }
 
@@ -198,7 +244,8 @@ void report_matrix(bool smoke) {
   const int trials = smoke ? 1 : 5;
   for (const ScenarioRow& row : rows) {
     for (const Tier tier :
-         {Tier::kNone, Tier::kLoss, Tier::kChaos, Tier::kChaosCut}) {
+         {Tier::kNone, Tier::kLoss, Tier::kChaos, Tier::kChaosCut,
+          Tier::kCrash, Tier::kChaosCrash}) {
       emit_cell(run_cell(row, tier, trials));
     }
   }
@@ -207,7 +254,10 @@ void report_matrix(bool smoke) {
   note("lost/corrupt = frames the fault plane dropped / the frame check");
   note("rejected. The `none` tier is the fault-free regression row: an empty");
   note("schedule never constructs the fault model, so it must match the");
-  note("plain scenario benches exactly.");
+  note("plain scenario benches exactly. The crash tiers hard-kill the session");
+  note("servers mid-body and measure the journalled resume (restart_resumes,");
+  note("node_crashes/node_restarts in the JSON); dup_or_reorder/gaps are the");
+  note("exactly-once counters and must stay 0 on the reliable sessions.");
 }
 
 void BM_CorridorChaos(benchmark::State& state) {

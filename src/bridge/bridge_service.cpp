@@ -83,9 +83,17 @@ void BridgeService::establish_downstream(net::ConnectionPtr upstream,
   if (record->is_direct()) {
     hop = net::NetAddress{request.destination, record->via_tech,
                           net::kPeerHoodEnginePort};
-    forward_frame = request.final_command == wire::Command::kResume
-                        ? wire::encode_resume(request.inner)
-                        : wire::encode_connect(request.inner);
+    switch (request.final_command) {
+      case wire::Command::kResume:
+        forward_frame = wire::encode_resume(request.inner);
+        break;
+      case wire::Command::kResumeRestart:
+        forward_frame = wire::encode_resume_restart(request.inner);
+        break;
+      default:
+        forward_frame = wire::encode_connect(request.inner);
+        break;
+    }
   } else {
     hop = net::NetAddress{record->bridge, record->via_tech,
                           net::kPeerHoodEnginePort};

@@ -22,6 +22,9 @@ enum class ErrorCode {
   kCapacityExceeded,
   kCancelled,
   kInvalidArgument,
+  // Resume named a session the responder no longer holds in memory — the
+  // daemon restarted. The client's cue to re-dial with kResumeRestart.
+  kUnknownSession,
 };
 
 [[nodiscard]] constexpr const char* to_string(ErrorCode code) {
@@ -37,6 +40,7 @@ enum class ErrorCode {
     case ErrorCode::kCapacityExceeded: return "capacity_exceeded";
     case ErrorCode::kCancelled: return "cancelled";
     case ErrorCode::kInvalidArgument: return "invalid_argument";
+    case ErrorCode::kUnknownSession: return "unknown_session";
   }
   return "unknown";
 }

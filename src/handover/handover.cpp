@@ -9,9 +9,11 @@
 namespace peerhood::handover {
 
 namespace {
-// Full routing-plan passes attempted against a dead link before the
-// controller goes terminal (see attempt_route).
-constexpr int kMaxDeadLinkPasses = 3;
+// Score penalty per failed resume attempt through a bridge within the
+// current repair episode — larger than any achievable link score, so one
+// failure sorts the bridge behind every untried candidate (a crashed relay
+// would otherwise win re-planning forever on its stale advertised quality).
+constexpr int kBridgeFailurePenalty = 1000;
 }  // namespace
 
 HandoverController::HandoverController(Library& library, ChannelPtr channel,
@@ -75,9 +77,13 @@ void HandoverController::refresh_plan() {
     // Route strength = the weakest of self->bridge and bridge->peer, minus
     // the §3.4.3 mobility cost of the bridge: a relay moving with us is
     // likely to lose the peer exactly when we do.
-    const int score = std::min(record.quality_sum, link->quality) -
-                      config_.bridge_mobility_penalty *
-                          mobility_cost(record.device.mobility);
+    int score = std::min(record.quality_sum, link->quality) -
+                config_.bridge_mobility_penalty *
+                    mobility_cost(record.device.mobility);
+    if (const auto failed = bridge_failures_.find(record.device.mac);
+        failed != bridge_failures_.end()) {
+      score -= kBridgeFailurePenalty * failed->second;
+    }
     plan_.push_back(RouteCandidate{record.device.mac, score});
   }
   // Fallback: the storage's own (possibly multi-hop) route towards the
@@ -96,6 +102,10 @@ void HandoverController::refresh_plan() {
       if (bridge_record.has_value()) {
         score -= config_.bridge_mobility_penalty *
                  mobility_cost(bridge_record->device.mobility);
+      }
+      if (const auto failed = bridge_failures_.find(peer_record->bridge);
+          failed != bridge_failures_.end()) {
+        score -= kBridgeFailurePenalty * failed->second;
       }
       plan_.push_back(RouteCandidate{peer_record->bridge, score});
     }
@@ -315,6 +325,10 @@ void HandoverController::execute() {
   busy_ = true;
   if (config_.routing_enabled && !plan_.empty()) {
     attempt_route(0);
+  } else if (config_.direct_resume_enabled && !channel_->open()) {
+    // No routing plan at all, link dead: go straight at the peer — it may
+    // have restarted and be journal-resumable.
+    attempt_direct_resume();
   } else if (config_.reconnection_enabled) {
     start_reconnection();
   } else {
@@ -336,27 +350,11 @@ void HandoverController::attempt_route(std::size_t candidate_index) {
     ++stats_.route_failures;
     predicted_ = false;
     if (!channel_->open()) {
-      if (config_.reconnection_enabled) {
-        start_reconnection();
+      if (config_.direct_resume_enabled) {
+        attempt_direct_resume();
         return;
       }
-      // Link dead and the whole plan failed. On a bursty medium one pass
-      // can fail spuriously (every handshake of every candidate lost), so
-      // drop back to monitor and let tick() re-run the plan — but only a
-      // few times. After that the route is genuinely gone: go terminal so
-      // the application's own recovery (the scenario watchdog) takes over.
-      if (++dead_link_passes_ < kMaxDeadLinkPasses) {
-        busy_ = false;
-        state_ = HandoverState::kMonitor;
-        return;
-      }
-      busy_ = false;
-      state_ = HandoverState::kFailed;
-      if (!emit(HandoverEvent{HandoverEvent::Kind::kGaveUp, {}, nullptr,
-                              "routing plan exhausted on a dead link"})) {
-        return;  // handler destroyed the controller
-      }
-      stop();
+      finish_dead_link_pass();
       return;
     }
     // Connection still alive: stay in monitor state and hope for recovery
@@ -387,6 +385,7 @@ void HandoverController::attempt_route(std::size_t candidate_index) {
           busy_ = false;
           low_count_ = 0;
           dead_link_passes_ = 0;
+          bridge_failures_.clear();
           state_ = HandoverState::kMonitor;
           // Traffic now flows through the bridge: move the observer to the
           // link the device can actually sense (self -> bridge hop).
@@ -396,6 +395,7 @@ void HandoverController::attempt_route(std::size_t candidate_index) {
                                    "rerouted via " + bridge.to_string()});
           return;
         }
+        ++bridge_failures_[bridge];
         if (!emit(HandoverEvent{HandoverEvent::Kind::kHandoverFailed, bridge,
                                 nullptr, status.error().to_string()})) {
           return;  // handler destroyed the controller
@@ -403,6 +403,60 @@ void HandoverController::attempt_route(std::size_t candidate_index) {
         attempt_route(candidate_index + 1);
       },
       config_.resume_timeout);
+}
+
+void HandoverController::attempt_direct_resume() {
+  ++stats_.direct_resumes;
+  library_.resume_direct(
+      channel_,
+      [this, token = sentinel_.token()](Status status) {
+        if (token.expired()) return;
+        if (status.ok()) {
+          // Same recovery as a successful routing handover, minus a bridge:
+          // the session survived, possibly across a peer restart.
+          ++stats_.handovers;
+          predicted_ = false;
+          busy_ = false;
+          low_count_ = 0;
+          dead_link_passes_ = 0;
+          bridge_failures_.clear();
+          state_ = HandoverState::kMonitor;
+          if (config_.predictive_enabled) subscribe_link();
+          (void)emit(HandoverEvent{HandoverEvent::Kind::kHandoverComplete, {},
+                                   nullptr, "resumed directly with peer"});
+          return;
+        }
+        if (!emit(HandoverEvent{HandoverEvent::Kind::kHandoverFailed, {},
+                                nullptr, status.error().to_string()})) {
+          return;  // handler destroyed the controller
+        }
+        finish_dead_link_pass();
+      },
+      config_.resume_timeout);
+}
+
+void HandoverController::finish_dead_link_pass() {
+  if (config_.reconnection_enabled) {
+    start_reconnection();
+    return;
+  }
+  // Link dead and the whole plan failed. On a bursty medium one pass can
+  // fail spuriously (every handshake of every candidate lost), so drop back
+  // to monitor and let tick() re-run the plan — but only a few times. After
+  // that the route is genuinely gone: go terminal so the application's own
+  // recovery (the scenario watchdog) takes over.
+  if (++dead_link_passes_ < config_.max_dead_link_passes) {
+    busy_ = false;
+    state_ = HandoverState::kMonitor;
+    return;
+  }
+  busy_ = false;
+  state_ = HandoverState::kFailed;
+  if (!emit(HandoverEvent{HandoverEvent::Kind::kGaveUp, {}, nullptr,
+                          "routing plan exhausted on a dead link"})) {
+    return;  // handler destroyed the controller
+  }
+  stop();
 }
 
 void HandoverController::start_reconnection() {

@@ -34,6 +34,7 @@
 #include <functional>
 #include <optional>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "common/handler_slot.hpp"
@@ -62,6 +63,17 @@ struct HandoverConfig {
   bool routing_enabled{true};
   bool reconnection_enabled{true};
   SimDuration resume_timeout{std::chrono::seconds{30}};
+  // Full routing-plan passes attempted against a dead link before the
+  // controller goes terminal. Crash scenarios raise this so the controller
+  // keeps retrying across a server's downtime and the restart-resume path
+  // gets its chance once the peer is back.
+  int max_dead_link_passes{3};
+  // After the routing plan is exhausted on a dead link, try resuming the
+  // session *directly* with the peer before reconnecting elsewhere. This is
+  // the crash-recovery path: a restarted peer answers kUnknownSession and
+  // the Library re-dials with kResumeRestart against its journal. Off by
+  // default — it changes the repair sequence of established scenarios.
+  bool direct_resume_enabled{false};
 
   // --- Predictive make-before-break layer ----------------------------------
   bool predictive_enabled{true};
@@ -124,6 +136,9 @@ class HandoverController {
     std::uint64_t route_attempts{0};
     std::uint64_t handovers{0};
     std::uint64_t route_failures{0};
+    // Direct session-resume attempts against the peer itself (the
+    // crash-recovery path, see HandoverConfig::direct_resume_enabled).
+    std::uint64_t direct_resumes{0};
     std::uint64_t reconnections{0};
     std::uint64_t suppressed{0};
     // Predictive layer.
@@ -165,6 +180,11 @@ class HandoverController {
   bool emit(const HandoverEvent& event);
   void execute();
   void attempt_route(std::size_t candidate_index);
+  void attempt_direct_resume();
+  // Shared tail of a failed repair pass on a dead link: reconnection if
+  // enabled, otherwise count the pass and either drop back to monitor or go
+  // terminal.
+  void finish_dead_link_pass();
   void start_reconnection();
 
   // Predictive layer.
@@ -198,6 +218,10 @@ class HandoverController {
   // fail whole passes spuriously, so the reactive loop re-runs the plan a
   // few times before declaring the route dead and going terminal.
   int dead_link_passes_{0};
+  // Bridges whose resume attempt failed during the current repair episode:
+  // a crashed relay keeps failing, so demote it far below every fresh
+  // candidate when re-planning. Cleared once a repair succeeds.
+  std::unordered_map<MacAddress, int> bridge_failures_;
   // Guards the in-flight resume/reconnect callbacks (they capture `this`
   // and may resolve after this controller is destroyed).
   DestructionSentinel sentinel_;

@@ -25,12 +25,30 @@ Node::Node(Testbed& testbed, std::string name, MacAddress mac,
   bridge_config.max_connections = options.daemon.max_bridge_connections;
   bridge_ = std::make_unique<bridge::BridgeService>(*daemon_, *library_,
                                                     bridge_config);
-  if (options.start_bridge && options.daemon.bridge_enabled) {
+  bridge_configured_ = options.start_bridge && options.daemon.bridge_enabled;
+  if (bridge_configured_) {
     bridge_->start();
   }
 }
 
 Node::~Node() = default;
+
+void Node::crash() {
+  if (crashed_) return;
+  crashed_ = true;
+  // Order matters: the bridge unregisters its hidden service and engine
+  // handler while the daemon is still up, then the daemon wipes everything
+  // volatile and leaves the medium.
+  bridge_->stop();
+  daemon_->crash();
+}
+
+void Node::restart() {
+  if (!crashed_) return;
+  crashed_ = false;
+  daemon_->start();
+  if (bridge_configured_) bridge_->start();
+}
 
 Result<ChannelPtr> Node::connect_blocking(MacAddress destination,
                                           const std::string& service,

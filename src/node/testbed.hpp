@@ -60,12 +60,25 @@ class Node {
       MacAddress destination, const std::string& service,
       Library::ConnectOptions options = {}, double deadline_s = 180.0);
 
+  // Hard-kills the node's stack: the bridge service drops every relayed
+  // pair, the daemon loses all volatile state (Daemon::crash), and the node
+  // vanishes from the radio medium until restart(). The SessionStore journal
+  // survives in place.
+  void crash();
+  // Brings a crashed (or stopped) node back: fresh daemon epoch, plugins and
+  // engine listening again, bridge relaying again if it was configured to.
+  void restart();
+  [[nodiscard]] bool crashed() const { return crashed_; }
+
  private:
   Testbed& testbed_;
   std::string name_;
   std::unique_ptr<Daemon> daemon_;
   std::unique_ptr<Library> library_;
   std::unique_ptr<bridge::BridgeService> bridge_;
+  // Whether restart() should bring the bridge service back up.
+  bool bridge_configured_{false};
+  bool crashed_{false};
 };
 
 class Testbed {

@@ -60,6 +60,15 @@ struct DaemonConfig {
   // (baseline for E1/E2).
   bool propagate_routes{true};
 
+  // Crash tolerance (bounded-resource paths).
+  // Deferred fetch replies queued per peer; when full the oldest queued
+  // reply is dropped (and counted) before the new one is queued, so a
+  // requester storm cannot grow daemon memory without bound.
+  std::size_t max_peer_send_queue{8};
+  // SessionStore journal capacity: resume records surviving a crash. Least
+  // recently touched records are evicted first.
+  std::size_t session_journal_capacity{64};
+
   // Interconnection (Ch. 4).
   bool bridge_enabled{true};
   int max_bridge_connections{8};

@@ -32,8 +32,10 @@ Daemon::Daemon(net::SimNetwork& network, MacAddress mac,
             config_.mobility},
       storage_{config_.route_policy},
       analyzer_{mac, AnalyzerConfig{config_.propagate_routes}},
-      engine_{network, mac} {
+      engine_{network, mac},
+      session_store_{config_.session_journal_capacity} {
   cache_.set_caching(config_.snapshot_cache);
+  engine_.set_session_store(&session_store_);
   for (const Technology tech : config_.technologies) {
     plugins_.push_back(std::make_unique<Plugin>(*this, tech));
   }
@@ -65,6 +67,29 @@ void Daemon::stop() {
   for (const Technology tech : config_.technologies) {
     network_.detach_interface(self_.mac, tech);
   }
+  // Cancel deferred replies: a stopped daemon sends nothing, and the events
+  // must not outlive a daemon that is destroyed before its simulator.
+  for (auto& [peer, queue] : send_queues_) {
+    for (PendingSend& entry : queue) simulator().cancel(entry.event);
+  }
+  send_queues_.clear();
+}
+
+void Daemon::crash() {
+  if (!running_) {
+    return;
+  }
+  stop();
+  // Everything volatile dies with the process: live sessions (a later
+  // kResume meets kUnknownSession), the discovery storage, the plugins'
+  // conditional-fetch baselines and the duplicate-suppression memo. The
+  // SessionStore journal and the registered services survive — the journal
+  // by design, the services as shorthand for an application that
+  // re-registers immediately on restart.
+  engine_.clear_sessions();
+  for (const auto& plugin : plugins_) plugin->forget_peers();
+  storage_.clear();
+  last_request_.clear();
 }
 
 Status Daemon::register_service(ServiceInfo service) {
@@ -177,18 +202,43 @@ void Daemon::answer_fetch(Technology tech, MacAddress from,
                                ? 2 * params.fetch_time
                                : params.fetch_time;
   sim::RadioMedium::FramePtr frame = cache_.respond(request, snapshot_source());
-  auto send = [net = &network_, self = self_.mac, from, tech,
-               frame = std::move(frame)] {
-    // No daemon state touched: if the daemon stopped (or died) meanwhile its
-    // interface is detached and the medium drops the frame. Known trade-off
-    // for keeping this closure inline-sized: a stop+start cycle *within*
-    // `cost` re-attaches the interface and lets a pre-stop snapshot out —
-    // it carries the old epoch, so the requester's next conditional fetch
-    // mismatches and corrects itself with a full response.
-    net->send_datagram(self, from, tech, frame);
+  // The reply is parked in a capped per-peer queue until its serialisation
+  // cost elapses. The queue bounds memory under a requester storm (oldest
+  // reply dropped, counted — the requester's retry path covers it) and ties
+  // every deferred reply to this daemon's lifetime: stop() and crash()
+  // cancel the events, so no pre-stop snapshot escapes a restarted daemon
+  // and no event outlives the daemon. The closure stays inline-sized by
+  // capturing only the queue key; the frame lives in the queue entry.
+  std::deque<PendingSend>& queue = send_queues_[from.as_u64()];
+  if (queue.size() >= config_.max_peer_send_queue && !queue.empty()) {
+    simulator().cancel(queue.front().event);
+    queue.pop_front();
+    ++send_queue_drops_;
+  }
+  PendingSend entry;
+  entry.id = next_send_id_++;
+  entry.frame = std::move(frame);
+  entry.tech = tech;
+  queue.push_back(std::move(entry));
+  auto send = [this, peer = from.as_u64(), id = queue.back().id] {
+    flush_pending_send(peer, id);
   };
   static_assert(sizeof(send) <= sim::InlineCallable::kInlineSize);
-  simulator().schedule_after(cost, std::move(send));
+  queue.back().event = simulator().schedule_after(cost, std::move(send));
+}
+
+void Daemon::flush_pending_send(std::uint64_t peer_key, std::uint64_t send_id) {
+  const auto queue_it = send_queues_.find(peer_key);
+  if (queue_it == send_queues_.end()) return;
+  std::deque<PendingSend>& queue = queue_it->second;
+  const auto entry_it =
+      std::find_if(queue.begin(), queue.end(),
+                   [send_id](const PendingSend& e) { return e.id == send_id; });
+  if (entry_it == queue.end()) return;
+  network_.send_datagram(self_.mac, MacAddress::from_u64(peer_key),
+                         entry_it->tech, entry_it->frame);
+  queue.erase(entry_it);
+  if (queue.empty()) send_queues_.erase(queue_it);
 }
 
 }  // namespace peerhood

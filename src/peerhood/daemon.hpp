@@ -5,6 +5,7 @@
 #pragma once
 
 #include <cstdint>
+#include <deque>
 #include <map>
 #include <memory>
 #include <span>
@@ -19,8 +20,10 @@
 #include "peerhood/config.hpp"
 #include "peerhood/engine.hpp"
 #include "peerhood/plugin.hpp"
+#include "peerhood/session_store.hpp"
 #include "peerhood/snapshot_cache.hpp"
 #include "sim/mobility.hpp"
+#include "sim/simulator.hpp"
 
 namespace peerhood {
 
@@ -36,6 +39,13 @@ class Daemon {
 
   void start();
   void stop();
+  // Hard-kill: stop() plus loss of every piece of volatile state — live
+  // sessions, discovery storage, plugin baselines, queued replies. What a
+  // real process death leaves behind is exactly the SessionStore journal
+  // (the "disk") and the registered services (the model being an
+  // application that re-registers on restart). A subsequent start() mints a
+  // fresh epoch, so peers detect the restart on their next fetch.
+  void crash();
   [[nodiscard]] bool running() const { return running_; }
 
   // --- Identity / wiring -----------------------------------------------------
@@ -86,11 +96,27 @@ class Daemon {
     return duplicate_requests_;
   }
 
+  // --- Crash tolerance ---------------------------------------------------------
+  // The crash-survivable per-session resume journal (see session_store.hpp).
+  [[nodiscard]] SessionStore& session_store() { return session_store_; }
+  // Deferred fetch replies dropped because a peer's send queue was full.
+  [[nodiscard]] std::uint64_t send_queue_drops() const {
+    return send_queue_drops_;
+  }
+
  private:
+  struct PendingSend {
+    std::uint64_t id{0};
+    sim::EventId event{sim::kInvalidEvent};
+    sim::RadioMedium::FramePtr frame;
+    Technology tech{Technology::kBluetooth};
+  };
+
   void on_datagram(Technology tech, MacAddress from,
                    std::span<const std::uint8_t> payload);
   void answer_fetch(Technology tech, MacAddress from,
                     const wire::FetchRequest& request);
+  void flush_pending_send(std::uint64_t peer_key, std::uint64_t send_id);
   [[nodiscard]] SnapshotSource snapshot_source() const;
 
   net::SimNetwork& network_;
@@ -108,6 +134,11 @@ class Daemon {
   // included), so only a fault-plane duplicate repeats the latest id.
   std::map<std::pair<std::uint64_t, std::uint8_t>, std::uint32_t>
       last_request_;
+  SessionStore session_store_;
+  // Capped per-peer queues of deferred fetch replies (oldest-drop).
+  std::map<std::uint64_t, std::deque<PendingSend>> send_queues_;
+  std::uint64_t next_send_id_{1};
+  std::uint64_t send_queue_drops_{0};
   std::uint64_t duplicate_requests_{0};
   std::uint64_t epoch_{0};
   std::uint32_t services_gen_{1};

@@ -22,16 +22,33 @@ namespace {
 // out of a burst — backing off to silence would freeze the burst instead.
 constexpr SimDuration kHandshakeRetryBase = std::chrono::milliseconds{1500};
 constexpr SimDuration kHandshakeRetryCap = std::chrono::seconds{6};
+// Terminal give-up: a peer that never acknowledges (crashed, partitioned
+// beyond the dial's horizon) must not keep a HalfOpenDial — and the handlers
+// that anchor it — alive forever. After this many resends the dial fails
+// with a surfaced error. At the capped cadence this is ~36 s of retrying,
+// long enough to ride out any loss burst the fault plane produces.
+constexpr int kHandshakeRetryLimit = 8;
 
-void schedule_handshake_retransmit(sim::Simulator& sim,
-                                   std::shared_ptr<net::HalfOpenDial> state,
-                                   Bytes frame, SimDuration delay) {
+void schedule_handshake_retransmit(
+    sim::Simulator& sim, std::shared_ptr<net::HalfOpenDial> state, Bytes frame,
+    SimDuration delay, int attempts,
+    std::shared_ptr<std::function<void(Result<net::ConnectionPtr>)>> done) {
   sim.schedule_after(delay, [&sim, state = std::move(state),
-                             frame = std::move(frame), delay]() mutable {
+                             frame = std::move(frame), delay, attempts,
+                             done = std::move(done)]() mutable {
     if (state->done || state->conn == nullptr) return;
+    if (attempts >= kHandshakeRetryLimit) {
+      state->done = true;
+      sim.cancel(state->timer);
+      if (const auto conn = state->release_conn()) conn->close();
+      (*done)(Error{ErrorCode::kTimeout,
+                    "handshake unacknowledged after retransmission limit"});
+      return;
+    }
     (void)state->conn->write(frame);
     schedule_handshake_retransmit(sim, std::move(state), std::move(frame),
-                                  std::min(delay * 2, kHandshakeRetryCap));
+                                  std::min(delay * 2, kHandshakeRetryCap),
+                                  attempts + 1, std::move(done));
   });
 }
 
@@ -77,7 +94,8 @@ void dial_with_ack(net::SimNetwork& network, MacAddress from,
         state->conn = std::move(result).value();
         (void)state->conn->write(first_frame);
         schedule_handshake_retransmit(*simp, state, std::move(first_frame),
-                                      kHandshakeRetryBase);
+                                      kHandshakeRetryBase, /*attempts=*/0,
+                                      shared_done);
         // Await the PH_OK / PH_FAIL chain acknowledgement.
         state->conn->set_close_handler([state, shared_done, simp] {
           if (state->done) return;

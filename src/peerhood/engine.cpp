@@ -142,13 +142,57 @@ void Engine::handle_handshake(net::ConnectionPtr connection,
       if (session == nullptr || session->closed() ||
           session->service() != request.service) {
         ++stats_.rejected;
+        // kUnknownSession tells the client this is (potentially) a restart,
+        // not a missing service — its cue to re-dial with kResumeRestart.
         (void)connection->write(wire::encode_fail(
-            ErrorCode::kNoSuchService, "unknown session for resume"));
+            ErrorCode::kUnknownSession, "unknown session for resume"));
         connection->close();
         return;
       }
       (void)connection->write(wire::encode_ok());
       session->replace_connection(std::move(connection));
+      return;
+    }
+    case wire::Command::kResumeRestart: {
+      ++stats_.resumes;
+      const wire::ConnectRequest& request = handshake->connect;
+      // If the session is in fact still live (the client misread a transient
+      // outage as a crash), treat this as a plain resume.
+      ChannelPtr session = find_session(request.session_id);
+      if (session == nullptr) (void)prune_session(request.session_id);
+      if (session != nullptr && !session->closed() &&
+          session->service() == request.service) {
+        (void)connection->write(wire::encode_ok());
+        session->replace_connection(std::move(connection));
+        return;
+      }
+      // Otherwise the journal must vouch for the session and the service
+      // must be registered again; then the handshake behaves like a connect
+      // that keeps the old session id, and the application handler restores
+      // the reliable layer from the journalled frontier.
+      const SessionRecord* record =
+          session_store_ != nullptr ? session_store_->find(request.session_id)
+                                    : nullptr;
+      const auto it = service_handlers_.find(request.service);
+      if (record == nullptr || record->service != request.service ||
+          it == service_handlers_.end()) {
+        ++stats_.rejected;
+        (void)connection->write(wire::encode_fail(
+            ErrorCode::kUnknownSession, "session not journalled"));
+        connection->close();
+        return;
+      }
+      ++stats_.restart_resumes;
+      const MacAddress peer = request.client_params.has_value()
+                                  ? request.client_params->device.mac
+                                  : record->peer;
+      (void)connection->write(wire::encode_ok());
+      auto channel = std::make_shared<Channel>(
+          request.session_id, request.service, peer, std::move(connection));
+      channel->client_params = request.client_params;
+      register_session(channel);
+      const ServiceHandler handler = it->second;
+      handler(channel, request);
       return;
     }
     case wire::Command::kBridge: {

@@ -15,6 +15,7 @@
 #include "net/network.hpp"
 #include "peerhood/channel.hpp"
 #include "peerhood/protocol.hpp"
+#include "peerhood/session_store.hpp"
 
 namespace peerhood {
 
@@ -31,6 +32,9 @@ class Engine {
     std::uint64_t accepted{0};
     std::uint64_t connects{0};
     std::uint64_t resumes{0};
+    // kResumeRestart resumes honoured from the SessionStore journal after a
+    // crash wiped the live session map.
+    std::uint64_t restart_resumes{0};
     std::uint64_t bridges{0};
     std::uint64_t rejected{0};
   };
@@ -62,6 +66,15 @@ class Engine {
   // true when an expired entry was removed. Live sessions are left intact.
   bool prune_session(std::uint64_t session_id);
   [[nodiscard]] std::size_t session_count() const { return sessions_.size(); }
+  // Crash support: the live session map is volatile state and dies with the
+  // process (stop() deliberately keeps it — a plain stop/start cycle is not
+  // a crash).
+  void clear_sessions() { sessions_.clear(); }
+
+  // The daemon's crash-survivable resume journal; consulted by the
+  // kResumeRestart handshake. May stay null (engines used standalone in
+  // tests), in which case kResumeRestart degrades to kUnknownSession.
+  void set_session_store(SessionStore* store) { session_store_ = store; }
 
   [[nodiscard]] const Stats& stats() const { return stats_; }
   [[nodiscard]] MacAddress mac() const { return mac_; }
@@ -78,6 +91,7 @@ class Engine {
   // Accepted connections awaiting their first (handshake) frame.
   std::map<std::uint64_t, net::ConnectionPtr> pending_;
   std::map<std::uint64_t, std::weak_ptr<Channel>> sessions_;
+  SessionStore* session_store_{nullptr};
   Stats stats_;
 };
 

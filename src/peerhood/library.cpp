@@ -123,15 +123,40 @@ void Library::resume_via_bridge(MacAddress bridge, const ChannelPtr& channel,
   bridge_request.final_command = wire::Command::kResume;
   bridge_request.inner = std::move(request);
 
-  dial(net::NetAddress{bridge, tech, net::kPeerHoodEnginePort},
-       wire::encode_bridge(bridge_request), timeout,
-       [channel, callback](Result<net::ConnectionPtr> result) {
-         if (!result.ok()) {
+  const net::NetAddress hop{bridge, tech, net::kPeerHoodEnginePort};
+  // The fallback closure captures the network (which outlives every node)
+  // and our mac, not `this` — the Library may be gone by the time the first
+  // dial fails, while the dial machinery only needs the transport.
+  net::SimNetwork* network = &daemon_.network();
+  const MacAddress self = daemon_.mac();
+  Bytes resume_frame = wire::encode_bridge(bridge_request);
+  bridge_request.final_command = wire::Command::kResumeRestart;
+  Bytes restart_frame = wire::encode_bridge(bridge_request);
+
+  dial(hop, std::move(resume_frame), timeout,
+       [channel, callback, network, self, hop, timeout,
+        restart_frame = std::move(restart_frame)](
+           Result<net::ConnectionPtr> result) mutable {
+         if (result.ok()) {
+           channel->replace_connection(std::move(result).value());
+           callback(Status::ok_status());
+           return;
+         }
+         if (result.error().code != ErrorCode::kUnknownSession) {
            callback(Status{result.error()});
            return;
          }
-         channel->replace_connection(std::move(result).value());
-         callback(Status::ok_status());
+         // The server dropped the session — it restarted. Re-dial once with
+         // PH_RESUME_RESTART so its journal can revive the session.
+         dial_with_ack(*network, self, hop, std::move(restart_frame), timeout,
+                       [channel, callback](Result<net::ConnectionPtr> retry) {
+                         if (!retry.ok()) {
+                           callback(Status{retry.error()});
+                           return;
+                         }
+                         channel->replace_connection(std::move(retry).value());
+                         callback(Status::ok_status());
+                       });
        });
 }
 
@@ -145,15 +170,35 @@ void Library::resume_direct(const ChannelPtr& channel, StatusCallback callback,
   request.session_id = channel->session_id();
   request.service = channel->service();
 
-  dial(net::NetAddress{channel->peer(), tech, net::kPeerHoodEnginePort},
-       wire::encode_resume(request), timeout,
-       [channel, callback](Result<net::ConnectionPtr> result) {
-         if (!result.ok()) {
+  const net::NetAddress hop{channel->peer(), tech, net::kPeerHoodEnginePort};
+  net::SimNetwork* network = &daemon_.network();
+  const MacAddress self = daemon_.mac();
+  Bytes restart_frame = wire::encode_resume_restart(request);
+
+  dial(hop, wire::encode_resume(request), timeout,
+       [channel, callback, network, self, hop, timeout,
+        restart_frame = std::move(restart_frame)](
+           Result<net::ConnectionPtr> result) mutable {
+         if (result.ok()) {
+           channel->replace_connection(std::move(result).value());
+           callback(Status::ok_status());
+           return;
+         }
+         if (result.error().code != ErrorCode::kUnknownSession) {
            callback(Status{result.error()});
            return;
          }
-         channel->replace_connection(std::move(result).value());
-         callback(Status::ok_status());
+         // Same session id on the responder's side, restored from its
+         // journal rather than the (crashed) live session map.
+         dial_with_ack(*network, self, hop, std::move(restart_frame), timeout,
+                       [channel, callback](Result<net::ConnectionPtr> retry) {
+                         if (!retry.ok()) {
+                           callback(Status{retry.error()});
+                           return;
+                         }
+                         channel->replace_connection(std::move(retry).value());
+                         callback(Status::ok_status());
+                       });
        });
 }
 

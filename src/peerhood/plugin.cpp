@@ -53,6 +53,11 @@ void Plugin::stop() {
 
 void Plugin::trigger_cycle() { begin_cycle(); }
 
+void Plugin::forget_peers() {
+  peer_views_.clear();
+  storage_weakening_gen_ = 0;
+}
+
 void Plugin::begin_cycle() {
   if (cycle_active_) return;  // previous cycle overran its interval
   cycle_active_ = true;
@@ -130,6 +135,19 @@ void Plugin::process_next_responder() {
   }
   const FetchJob job = fetch_queue_[fetch_index_++];
   auto done = [this, job](std::optional<wire::FetchResponse> resp) {
+    if (resp.has_value() && resp->epoch_changed && !resp->not_modified &&
+        resp->sections != wire::kSectionAll) {
+      // The responder restarted between our request and this (partial)
+      // response: overlaying it onto the stored record would mix post-
+      // restart sections with pre-restart state. Drop the baseline (already
+      // re-seeded with the new epoch by on_fetch_response — erase it fully)
+      // and requeue an unconditional full fetch this cycle instead.
+      ++stats_.epoch_invalidations;
+      peer_views_.erase(job.target);
+      fetch_queue_.push_back(FetchJob{job.target, /*full=*/true});
+      process_next_responder();
+      return;
+    }
     bool view_consistent = false;
     if (resp.has_value()) {
       if (resp->not_modified) {
@@ -215,6 +233,22 @@ void Plugin::fetch_info(MacAddress target, FetchCallback done) {
         [state, self, shared_done](std::optional<wire::FetchResponse> part) {
           if (!part.has_value()) {
             (*shared_done)(std::nullopt);
+            return;
+          }
+          if (part->epoch_changed) {
+            // Responder restarted mid-assembly: every part gathered so far
+            // (including kNotModified conclusions) describes state that no
+            // longer exists. Restart the assembly once — the view was reset
+            // to the new epoch, so the re-fetches are unconditional — and
+            // abort the cycle's fetch if it happens again.
+            if (state->epoch_retry) {
+              (*shared_done)(std::nullopt);
+              return;
+            }
+            state->epoch_retry = true;
+            state->assembled = wire::FetchResponse{};
+            state->next_section = 0;
+            (*self)();
             return;
           }
           if ((part->sections & wire::kSectionDevice) != 0) {
@@ -330,9 +364,16 @@ void Plugin::on_fetch_response(MacAddress from,
     ++stats_.stale_responses;  // answers a fetch we already gave up on
     return;
   }
+  bool epoch_changed = false;
   if (!response.not_modified) {
     // Adopt the responder's versions for the sections it shipped. An epoch
-    // change (responder restart) invalidates everything we knew.
+    // change (responder restart) invalidates everything we knew. First
+    // contact (no baseline yet) is not a change — only a view that held
+    // real generations can be invalidated.
+    const auto view_it = peer_views_.find(from);
+    epoch_changed = view_it != peer_views_.end() &&
+                    view_it->second.known != 0 &&
+                    view_it->second.epoch != response.epoch;
     PeerView& view = peer_views_[from];
     if (view.epoch != response.epoch) {
       view = PeerView{};
@@ -347,7 +388,11 @@ void Plugin::on_fetch_response(MacAddress from,
   daemon_.simulator().cancel(pending_->timeout);
   FetchCallback cb = std::move(pending_->done);
   pending_.reset();
-  cb(response);
+  // Annotate rather than mutate: `response` aliases the decoder's frame and
+  // epoch_changed is requester-side knowledge, not wire state.
+  wire::FetchResponse annotated = response;
+  annotated.epoch_changed = epoch_changed;
+  cb(annotated);
 }
 
 int Plugin::sampled_quality(MacAddress target, std::uint8_t load_percent) {

@@ -43,6 +43,10 @@ class Plugin {
     // with a partial section set (deltas / neighbours-only refreshes).
     std::uint64_t not_modified{0};
     std::uint64_t delta_responses{0};
+    // Responder restarted between request and response (epoch changed
+    // mid-conversation): the delta baseline was invalidated and the fetch
+    // fell back to a full one instead of overlaying stale state.
+    std::uint64_t epoch_invalidations{0};
   };
 
   Plugin(Daemon& daemon, Technology technology);
@@ -63,6 +67,10 @@ class Plugin {
 
   // Triggers one inquiry cycle immediately (tests/benches).
   void trigger_cycle();
+
+  // Crash support: drops every conditional-fetch baseline (they are volatile
+  // requester state; a restarted daemon starts from full fetches).
+  void forget_peers();
 
  private:
   using FetchCallback =
@@ -137,6 +145,9 @@ class Plugin {
   struct SplitState {
     wire::FetchResponse assembled;
     int next_section{0};
+    // The assembly was already restarted once after a mid-conversation
+    // epoch change; a second change aborts the fetch for this cycle.
+    bool epoch_retry{false};
   };
 
   Stats stats_;

@@ -311,6 +311,13 @@ Bytes encode_resume(const ConnectRequest& request) {
   return std::move(writer).take();
 }
 
+Bytes encode_resume_restart(const ConnectRequest& request) {
+  ByteWriter writer;
+  writer.u8(static_cast<std::uint8_t>(Command::kResumeRestart));
+  encode_connect_body(writer, request);
+  return std::move(writer).take();
+}
+
 Bytes encode_bridge(const BridgeRequest& request) {
   ByteWriter writer;
   writer.u8(static_cast<std::uint8_t>(Command::kBridge));
@@ -342,6 +349,7 @@ std::optional<Handshake> decode_handshake(std::span<const std::uint8_t> frame) {
   switch (handshake.command) {
     case Command::kConnect:
     case Command::kResume:
+    case Command::kResumeRestart:
       handshake.connect = decode_connect_body(reader);
       break;
     case Command::kBridge:
@@ -349,7 +357,8 @@ std::optional<Handshake> decode_handshake(std::span<const std::uint8_t> frame) {
       handshake.bridge.final_command = static_cast<Command>(reader.u8());
       handshake.bridge.inner = decode_connect_body(reader);
       if (handshake.bridge.final_command != Command::kConnect &&
-          handshake.bridge.final_command != Command::kResume) {
+          handshake.bridge.final_command != Command::kResume &&
+          handshake.bridge.final_command != Command::kResumeRestart) {
         return std::nullopt;
       }
       break;

@@ -34,6 +34,11 @@ enum class Command : std::uint8_t {
   kResume = 12,      // connection re-establish
   kOk = 13,          // PH_OK
   kFail = 14,        // PH_FAIL
+  // Connection re-establish against a *restarted* daemon: the responder lost
+  // its in-memory sessions, but its SessionStore journal may still hold the
+  // resume frontier. Sent by clients after a kResume was refused with
+  // kUnknownSession (or after spotting a fresh epoch on re-fetch).
+  kResumeRestart = 15,
 };
 
 // Sections of a fetch request/response; the paper issues four short
@@ -110,6 +115,11 @@ struct FetchResponse {
   // Set when the frame was a kNotModified reply (not a wire field of
   // kFetchResponse; decode_fetch_response accepts both commands).
   bool not_modified{false};
+  // Client-side annotation (never on the wire): the responder's epoch differs
+  // from the epoch of the view this response was requested against — the
+  // responder restarted mid-conversation, so any delta assembled so far is
+  // relative to state that no longer exists.
+  bool epoch_changed{false};
   DeviceInfo device;
   std::vector<Technology> prototypes;
   std::vector<ServiceInfo> services;
@@ -161,13 +171,14 @@ struct FailInfo {
 // A decoded first-frame handshake or control response.
 struct Handshake {
   Command command{Command::kOk};
-  ConnectRequest connect;  // valid for kConnect / kResume
+  ConnectRequest connect;  // valid for kConnect / kResume / kResumeRestart
   BridgeRequest bridge;    // valid for kBridge
   FailInfo fail;           // valid for kFail
 };
 
 [[nodiscard]] Bytes encode_connect(const ConnectRequest& request);
 [[nodiscard]] Bytes encode_resume(const ConnectRequest& request);
+[[nodiscard]] Bytes encode_resume_restart(const ConnectRequest& request);
 [[nodiscard]] Bytes encode_bridge(const BridgeRequest& request);
 [[nodiscard]] Bytes encode_ok();
 [[nodiscard]] Bytes encode_fail(ErrorCode code, std::string_view message);

@@ -1,0 +1,49 @@
+#include "peerhood/session_store.hpp"
+
+#include <algorithm>
+#include <utility>
+
+namespace peerhood {
+
+void SessionStore::touch(std::uint64_t session_id) {
+  const auto it = std::find(order_.begin(), order_.end(), session_id);
+  if (it != order_.end()) order_.erase(it);
+  order_.push_back(session_id);
+}
+
+void SessionStore::put(SessionRecord record) {
+  const std::uint64_t id = record.session_id;
+  if (records_.find(id) == records_.end() && records_.size() >= capacity_ &&
+      capacity_ > 0 && !order_.empty()) {
+    const std::uint64_t victim = order_.front();
+    order_.pop_front();
+    records_.erase(victim);
+    ++evictions_;
+  }
+  records_[id] = std::move(record);
+  touch(id);
+}
+
+bool SessionStore::update_frontier(std::uint64_t session_id,
+                                   std::uint64_t next_seq,
+                                   std::uint64_t expected) {
+  const auto it = records_.find(session_id);
+  if (it == records_.end()) return false;
+  it->second.next_seq = next_seq;
+  it->second.expected = expected;
+  touch(session_id);
+  return true;
+}
+
+const SessionRecord* SessionStore::find(std::uint64_t session_id) const {
+  const auto it = records_.find(session_id);
+  return it == records_.end() ? nullptr : &it->second;
+}
+
+void SessionStore::erase(std::uint64_t session_id) {
+  records_.erase(session_id);
+  const auto it = std::find(order_.begin(), order_.end(), session_id);
+  if (it != order_.end()) order_.erase(it);
+}
+
+}  // namespace peerhood

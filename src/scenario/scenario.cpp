@@ -8,26 +8,43 @@
 namespace peerhood::scenario {
 namespace {
 
-// Payload layout of scenario traffic: 4-byte LE session index + padding, so
-// the server side can attribute received messages to sessions across
-// handovers and reconnections.
-constexpr std::size_t kPayloadHeader = 4;
+// Payload layout of scenario traffic: 4-byte LE session index + 4-byte LE
+// per-session message counter + padding. The index attributes received
+// messages to sessions across handovers and reconnections; the counter is
+// the exactly-once oracle — it survives session restarts (it lives in the
+// runner's Session, not the channel), so duplicates and gaps are detectable
+// across every repair path including crash–restart resumes.
+constexpr std::size_t kPayloadHeader = 8;
 
-Bytes make_payload(std::uint32_t session_index, std::size_t bytes) {
+void put_u32(Bytes& payload, std::size_t at, std::uint32_t value) {
+  payload[at] = static_cast<std::uint8_t>(value & 0xff);
+  payload[at + 1] = static_cast<std::uint8_t>((value >> 8) & 0xff);
+  payload[at + 2] = static_cast<std::uint8_t>((value >> 16) & 0xff);
+  payload[at + 3] = static_cast<std::uint8_t>((value >> 24) & 0xff);
+}
+
+std::optional<std::uint32_t> get_u32(const Bytes& payload, std::size_t at) {
+  if (payload.size() < at + 4) return std::nullopt;
+  return static_cast<std::uint32_t>(payload[at]) |
+         (static_cast<std::uint32_t>(payload[at + 1]) << 8) |
+         (static_cast<std::uint32_t>(payload[at + 2]) << 16) |
+         (static_cast<std::uint32_t>(payload[at + 3]) << 24);
+}
+
+Bytes make_payload(std::uint32_t session_index, std::uint32_t counter,
+                   std::size_t bytes) {
   Bytes payload(std::max(bytes, kPayloadHeader), std::uint8_t{0});
-  payload[0] = static_cast<std::uint8_t>(session_index & 0xff);
-  payload[1] = static_cast<std::uint8_t>((session_index >> 8) & 0xff);
-  payload[2] = static_cast<std::uint8_t>((session_index >> 16) & 0xff);
-  payload[3] = static_cast<std::uint8_t>((session_index >> 24) & 0xff);
+  put_u32(payload, 0, session_index);
+  put_u32(payload, 4, counter);
   return payload;
 }
 
 std::optional<std::uint32_t> payload_session(const Bytes& payload) {
-  if (payload.size() < kPayloadHeader) return std::nullopt;
-  return static_cast<std::uint32_t>(payload[0]) |
-         (static_cast<std::uint32_t>(payload[1]) << 8) |
-         (static_cast<std::uint32_t>(payload[2]) << 16) |
-         (static_cast<std::uint32_t>(payload[3]) << 24);
+  return get_u32(payload, 0);
+}
+
+std::optional<std::uint32_t> payload_counter(const Bytes& payload) {
+  return get_u32(payload, 4);
 }
 
 std::vector<sim::WaypointPath::Waypoint> shifted(
@@ -181,6 +198,9 @@ struct ScenarioRunner::Session {
   node::Node* client{nullptr};
   MacAddress server_mac;
   ChannelPtr channel;
+  // Client-side reliability layer when spec.reliable (rebuilt with every
+  // attach_channel — it rides the channel, not the session).
+  std::shared_ptr<ReliableChannel> reliable;
   std::unique_ptr<handover::HandoverController> controller;
   sim::PeriodicTask traffic;
   sim::PeriodicTask watchdog;
@@ -188,6 +208,10 @@ struct ScenarioRunner::Session {
   SessionMetrics metrics;
   std::optional<SimTime> outage_start;
   std::optional<SimTime> degradation_at;
+  // Exactly-once oracle: the next message counter the client will stamp and
+  // the next the server expects. Session-lifetime (survive restarts).
+  std::uint32_t next_msg{1};
+  std::uint32_t server_expected{1};
   // Stats accumulated from controllers retired by reconnection / restart.
   handover::HandoverController::Stats prior_stats;
 };
@@ -199,6 +223,12 @@ ScenarioRunner::~ScenarioRunner() = default;
 Status ScenarioRunner::setup() {
   testbed_ = std::make_unique<node::Testbed>(spec_.seed, spec_.quality_model);
   if (spec_.radio.has_value()) testbed_->medium().configure(*spec_.radio);
+
+  // The server-side accept handler needs to know, per service, whether its
+  // sessions run the reliability layer — resolved up front from the specs.
+  for (const SessionSpec& session : spec_.sessions) {
+    if (session.reliable) reliable_services_.insert(session.service);
+  }
 
   // Mobility streams are derived from the scenario seed, independent of the
   // testbed's internal draws, so adding nodes does not perturb the walks.
@@ -232,20 +262,22 @@ Status ScenarioRunner::setup() {
       for (const std::string& service : group.services) {
         const Status status = node.library().register_service(
             ServiceInfo{service, "", 0},
-            [this](ChannelPtr channel, const wire::ConnectRequest&) {
+            [this, daemon = &node.daemon()](ChannelPtr channel,
+                                            const wire::ConnectRequest&) {
               // Every accepted channel stays in the registry for the whole
               // run — deliberately: the engine tracks sessions weakly, so a
               // transport-lost channel dropped here would make its session
               // unresumable and silently reject §5.2.1 handovers. Growth is
               // bounded by handovers + restarts and freed at teardown.
               server_channels_.push_back(std::move(channel));
-              server_channels_.back()->set_data_handler(
-                  [this](const Bytes& payload) {
-                    const auto index = payload_session(payload);
-                    if (index.has_value() && *index < sessions_.size()) {
-                      ++sessions_[*index]->metrics.received;
-                    }
-                  });
+              const ChannelPtr& accepted = server_channels_.back();
+              if (reliable_services_.contains(accepted->service())) {
+                adopt_reliable_server_channel(*daemon, accepted);
+              } else {
+                accepted->set_data_handler([this](const Bytes& payload) {
+                  count_delivery(payload);
+                });
+              }
             });
         if (!status.ok()) return status;
       }
@@ -299,6 +331,8 @@ Status ScenarioRunner::setup() {
   for (const auto& session : sessions_) {
     session->metrics.sent = 0;
     session->metrics.received = 0;
+    session->metrics.dup_or_reorder = 0;
+    session->metrics.gaps = 0;
     session->metrics.outage_s = 0.0;
     session->metrics.outage_episodes = session->outage_start.has_value() ? 1 : 0;
     if (session->outage_start.has_value()) {
@@ -333,6 +367,9 @@ void ScenarioRunner::attach_channel(Session& session, ChannelPtr channel) {
     bank_controller_stats(session);
     session.controller.reset();
   }
+  // The old reliability layer detaches before its channel is touched — its
+  // handlers hold raw-`this` into the layer (reliable_channel.hpp).
+  session.reliable.reset();
   if (session.channel != nullptr) {
     // The dead predecessor must stop reporting into this session: close()
     // severs its handlers.
@@ -344,8 +381,17 @@ void ScenarioRunner::attach_channel(Session& session, ChannelPtr channel) {
   // its to use. Handlers capture the runner/session raw — the runner owns
   // both the channel registry and the testbed (handler_slot.hpp rule 1).
   session.channel->set_close_handler([this, raw] { note_outage_start(*raw); });
-  session.channel->set_handover_handler(
-      [this, raw](const net::ConnectionPtr&) { note_outage_end(*raw); });
+  if (session.spec.reliable) {
+    // The reliability layer occupies the channel's data + handover slots;
+    // the runner's outage accounting chains through its handover hook.
+    session.reliable = std::make_shared<ReliableChannel>(
+        testbed_->sim(), session.channel, session.spec.reliable_config);
+    session.reliable->set_handover_handler(
+        [this, raw] { note_outage_end(*raw); });
+  } else {
+    session.channel->set_handover_handler(
+        [this, raw](const net::ConnectionPtr&) { note_outage_end(*raw); });
+  }
 
   if (!session.spec.handover) return;
   session.controller = std::make_unique<handover::HandoverController>(
@@ -404,11 +450,21 @@ void ScenarioRunner::start_traffic(Session& session) {
   session.traffic.start(
       testbed_->sim(), interval,
       [this, raw] {
-        if (raw->channel == nullptr || !raw->channel->open()) return;
-        const Bytes payload = make_payload(
-            static_cast<std::uint32_t>(raw->index),
-            raw->spec.traffic.message_bytes);
-        if (raw->channel->write(payload).ok()) ++raw->metrics.sent;
+        if (raw->channel == nullptr) return;
+        // A reliable session keeps sending through an outage — the layer
+        // buffers (bounded by its window) and replays after the resume. A
+        // plain session's writes would just vanish; skip them.
+        if (raw->reliable == nullptr && !raw->channel->open()) return;
+        const Bytes payload =
+            make_payload(static_cast<std::uint32_t>(raw->index),
+                         raw->next_msg, raw->spec.traffic.message_bytes);
+        const Status accepted = raw->reliable != nullptr
+                                    ? raw->reliable->send(payload)
+                                    : raw->channel->write(payload);
+        if (accepted.ok()) {
+          ++raw->metrics.sent;
+          ++raw->next_msg;
+        }
       },
       interval + phase);
 }
@@ -455,6 +511,73 @@ void ScenarioRunner::note_outage_end(Session& session) {
   session.outage_start.reset();
 }
 
+void ScenarioRunner::count_delivery(const Bytes& payload) {
+  const auto index = payload_session(payload);
+  if (!index.has_value() || *index >= sessions_.size()) return;
+  Session& session = *sessions_[*index];
+  ++session.metrics.received;
+  const auto counter = payload_counter(payload);
+  if (!counter.has_value()) return;
+  if (*counter < session.server_expected) {
+    // Behind the high-water mark: a duplicate or reordered delivery. The
+    // reliability layer must make this impossible; plain sessions surface
+    // whatever the medium did.
+    ++session.metrics.dup_or_reorder;
+    return;
+  }
+  session.metrics.gaps += *counter - session.server_expected;
+  session.server_expected = *counter + 1;
+}
+
+void ScenarioRunner::adopt_reliable_server_channel(Daemon& daemon,
+                                                   const ChannelPtr& channel) {
+  const std::uint64_t session_id = channel->session_id();
+  auto layer = std::make_shared<ReliableChannel>(testbed_->sim(), channel);
+  // A restart-resume: the journal still holds the frontier the crashed
+  // incarnation reached — restore it before any frame flows, so redelivered
+  // in-flight frames dedupe and our own seq stream does not restart at 1.
+  if (const SessionRecord* record = daemon.session_store().find(session_id)) {
+    layer->restore(record->next_seq, record->expected);
+  }
+  Daemon* raw_daemon = &daemon;
+  layer->set_journal_hook(
+      [raw_daemon, session_id, peer = channel->peer(),
+       service = channel->service()](std::uint64_t next_seq,
+                                     std::uint64_t expected) {
+        if (!raw_daemon->session_store().update_frontier(session_id, next_seq,
+                                                         expected)) {
+          raw_daemon->session_store().put(
+              SessionRecord{session_id, peer, service, next_seq, expected});
+        }
+      });
+  layer->set_data_handler(
+      [this](const Bytes& payload) { count_delivery(payload); });
+  // A restart-resume replaces the layer the crash orphaned; destroying the
+  // old one severs its handlers from its (dead) channel.
+  server_reliable_[session_id] = std::move(layer);
+}
+
+std::vector<MacAddress> ScenarioRunner::resolve_prefixes(
+    const std::vector<std::string>& prefixes) const {
+  std::vector<MacAddress> macs;
+  for (node::Node* node : testbed_->nodes()) {
+    for (const std::string& prefix : prefixes) {
+      if (node->name().rfind(prefix, 0) == 0) {
+        macs.push_back(node->mac());
+        break;
+      }
+    }
+  }
+  return macs;
+}
+
+node::Node* ScenarioRunner::find_node(MacAddress mac) const {
+  for (node::Node* node : testbed_->nodes()) {
+    if (node->mac() == mac) return node;
+  }
+  return nullptr;
+}
+
 void ScenarioRunner::schedule_churn() {
   churn_task_.start(
       testbed_->sim(), seconds(spec_.churn_interval_s),
@@ -482,31 +605,50 @@ void ScenarioRunner::install_faults() {
   }
   if (spec_.faults.partitions.empty()) return;
   const SimTime base = testbed_->sim().now();
-  const auto resolve = [this](const std::vector<std::string>& prefixes) {
-    std::vector<MacAddress> macs;
-    for (node::Node* node : testbed_->nodes()) {
-      for (const std::string& prefix : prefixes) {
-        if (node->name().rfind(prefix, 0) == 0) {
-          macs.push_back(node->mac());
-          break;
-        }
-      }
-    }
-    return macs;
-  };
   for (const FaultScheduleSpec::Partition& cut : spec_.faults.partitions) {
     sim::LinkFaultModel::Blackout window;
     window.start = base + seconds(cut.start_s);
     window.duration = seconds(cut.duration_s);
-    window.side_a = resolve(cut.side_a);
-    window.side_b = resolve(cut.side_b);
+    window.side_a = resolve_prefixes(cut.side_a);
+    window.side_b = resolve_prefixes(cut.side_b);
     faults.schedule_blackout(window);
+  }
+}
+
+void ScenarioRunner::install_crashes() {
+  if (spec_.crashes.empty()) return;
+  // Own forked stream, derived from the scenario seed only — like the link
+  // fault plane, so a (seed, crash schedule) pair replays bit-identically
+  // and an empty schedule never even constructs the plane.
+  crash_plane_ = std::make_unique<sim::NodeCrashPlane>(
+      testbed_->sim(), Rng{spec_.seed ^ 0xc7a5ffedfa117e11ULL});
+  crash_plane_->set_hooks(
+      [this](MacAddress mac) {
+        if (node::Node* node = find_node(mac)) node->crash();
+      },
+      [this](MacAddress mac) {
+        if (node::Node* node = find_node(mac)) node->restart();
+      });
+  const SimTime base = testbed_->sim().now();
+  for (const CrashScheduleSpec::Crash& crash : spec_.crashes.crashes) {
+    for (const MacAddress mac : resolve_prefixes(crash.targets)) {
+      crash_plane_->schedule_crash(mac, base + seconds(crash.at_s),
+                                   seconds(crash.downtime_s));
+    }
+  }
+  for (const CrashScheduleSpec::Churn& churn : spec_.crashes.churns) {
+    const double stop_s = churn.stop_s > 0.0 ? churn.stop_s : spec_.duration_s;
+    crash_plane_->start_churn(resolve_prefixes(churn.targets),
+                              seconds(churn.mtbf_s), seconds(churn.mttr_s),
+                              base + seconds(churn.start_s),
+                              base + seconds(stop_s));
   }
 }
 
 void ScenarioRunner::run() {
   if (!ready_) return;
   install_faults();
+  install_crashes();
   testbed_->run_for(spec_.duration_s);
 
   metrics_.sessions.clear();
@@ -538,6 +680,14 @@ void ScenarioRunner::run() {
   // Faults install at the body start, so lifetime totals ARE body totals.
   if (testbed_->medium().has_fault_plane()) {
     metrics_.fault_stats = testbed_->medium().fault_plane().stats();
+  }
+  if (crash_plane_ != nullptr) {
+    metrics_.fault_stats.node_crashes += crash_plane_->stats().node_crashes;
+    metrics_.fault_stats.node_restarts += crash_plane_->stats().node_restarts;
+  }
+  metrics_.restart_resumes = 0;
+  for (node::Node* node : testbed_->nodes()) {
+    metrics_.restart_resumes += node->daemon().engine().stats().restart_resumes;
   }
   metrics_.corrupt_frames_dropped =
       testbed_->network().integrity_stats().corrupt_drops;

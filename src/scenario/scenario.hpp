@@ -10,13 +10,16 @@
 #pragma once
 
 #include <cstdint>
+#include <map>
 #include <memory>
 #include <optional>
+#include <set>
 #include <string>
 #include <vector>
 
 #include "handover/handover.hpp"
 #include "node/testbed.hpp"
+#include "peerhood/reliable_channel.hpp"
 #include "sim/fault.hpp"
 #include "sim/mobility.hpp"
 
@@ -96,6 +99,11 @@ struct SessionSpec {
   TrafficSpec traffic{};
   bool handover{true};
   handover::HandoverConfig handover_config{};
+  // Run the session over ReliableChannel on both ends. The server side
+  // journals the resume frontier into its daemon's SessionStore, so the
+  // session survives a server crash–restart (kResumeRestart) exactly-once.
+  bool reliable{false};
+  ReliableConfig reliable_config{};
 };
 
 // Declarative fault plane (sim/fault.hpp): per-technology link-fault
@@ -127,6 +135,34 @@ struct FaultScheduleSpec {
   }
 };
 
+// Declarative node-crash plane (sim/fault.hpp NodeCrashPlane): scheduled
+// one-shot crashes plus seeded MTBF/MTTR churn over name-prefix node sets.
+// Like the link-fault plane it installs at the top of run() — the body, not
+// the warm-up, runs under crash injection — and like it the plane is only
+// constructed when the schedule is non-empty, so crash-free runs stay
+// byte-identical to builds that predate it. Times are relative to the start
+// of the scenario body.
+struct CrashScheduleSpec {
+  struct Crash {
+    std::vector<std::string> targets;  // name prefixes, like Partition sides
+    double at_s{0.0};
+    double downtime_s{10.0};
+  };
+  struct Churn {
+    std::vector<std::string> targets;
+    double mtbf_s{30.0};  // mean time between crashes, Exp-distributed
+    double mttr_s{5.0};   // mean downtime, Exp-distributed
+    double start_s{0.0};
+    double stop_s{0.0};  // 0 = end of the scenario body
+  };
+  std::vector<Crash> crashes;
+  std::vector<Churn> churns;
+
+  [[nodiscard]] bool empty() const {
+    return crashes.empty() && churns.empty();
+  }
+};
+
 struct ScenarioSpec {
   std::string name;
   std::uint64_t seed{1};
@@ -146,6 +182,8 @@ struct ScenarioSpec {
   // model is never even constructed, so fault-free runs draw identical RNG
   // streams to builds that predate the fault plane).
   FaultScheduleSpec faults{};
+  // Node-crash plane for the scenario body; same lazy-construction contract.
+  CrashScheduleSpec crashes{};
 };
 
 struct SessionMetrics {
@@ -159,6 +197,13 @@ struct SessionMetrics {
   // Scenario-level session restarts: after the controller gave up, the
   // runner (as the application) re-established a brand-new session.
   std::uint64_t restarts{0};
+  // Exactly-once accounting from the per-session message counter carried in
+  // every payload: messages that arrived behind the server's high-water mark
+  // (duplicates / reorders — must be 0 for reliable sessions) and counter
+  // values skipped past (frames lost for good, e.g. across a watchdog
+  // restart of an unreliable session).
+  std::uint64_t dup_or_reorder{0};
+  std::uint64_t gaps{0};
   std::uint64_t outage_episodes{0};
   // Total time with no usable connection (transport lost -> substituted /
   // reconnected / scenario end), in seconds.
@@ -176,10 +221,14 @@ struct ScenarioMetrics {
   std::uint64_t quality_observer_evals{0};
   std::uint64_t quality_events{0};
   // Per-kind fault-plane counters over the body (all zero when
-  // ScenarioSpec::faults is empty). Part of the determinism contract: the
-  // same (seed, fault schedule) must reproduce these exactly.
+  // ScenarioSpec::faults is empty). node_crashes/node_restarts are merged in
+  // from the crash plane. Part of the determinism contract: the same (seed,
+  // fault schedule, crash schedule) must reproduce these exactly.
   sim::FaultStats fault_stats{};
   std::uint64_t corrupt_frames_dropped{0};
+  // kResumeRestart handshakes honoured from a SessionStore journal, summed
+  // over every node's engine — the crash plane's recovery counter.
+  std::uint64_t restart_resumes{0};
 
   [[nodiscard]] std::uint64_t total_sent() const;
   [[nodiscard]] std::uint64_t total_received() const;
@@ -227,6 +276,17 @@ class ScenarioRunner {
   // Installs spec_.faults on the medium (called at the top of run(), so the
   // body — not the warm-up — runs under fault injection).
   void install_faults();
+  // Installs spec_.crashes (same body-only contract as install_faults).
+  void install_crashes();
+  // Server-side delivery accounting shared by plain and reliable sessions.
+  void count_delivery(const Bytes& payload);
+  // Wraps a freshly accepted server channel in a ReliableChannel wired to
+  // the daemon's SessionStore journal (restoring the frontier after a
+  // restart-resume).
+  void adopt_reliable_server_channel(Daemon& daemon, const ChannelPtr& channel);
+  [[nodiscard]] std::vector<MacAddress> resolve_prefixes(
+      const std::vector<std::string>& prefixes) const;
+  [[nodiscard]] node::Node* find_node(MacAddress mac) const;
 
   ScenarioSpec spec_;
   std::unique_ptr<node::Testbed> testbed_;
@@ -234,9 +294,15 @@ class ScenarioRunner {
   // Server-side sessions live here — handlers must not own their channel
   // (common/handler_slot.hpp).
   std::vector<ChannelPtr> server_channels_;
+  // Server-side reliability layers by session id; a restart-resume replaces
+  // the (inert) layer the crash orphaned.
+  std::map<std::uint64_t, std::shared_ptr<ReliableChannel>> server_reliable_;
+  // Services whose sessions run reliable (from SessionSpec::reliable).
+  std::set<std::string> reliable_services_;
   std::vector<node::Node*> churn_nodes_;
   std::size_t next_churn_{0};
   sim::PeriodicTask churn_task_;
+  std::unique_ptr<sim::NodeCrashPlane> crash_plane_;
   ScenarioMetrics metrics_;
   sim::TrafficStats medium_baseline_{};
   std::uint64_t observer_evals_baseline_{0};

@@ -9,6 +9,7 @@
 
 #include "common/rng.hpp"
 #include "peerhood/protocol.hpp"
+#include "peerhood/reliable_channel.hpp"
 
 namespace peerhood::wire {
 namespace {
@@ -32,6 +33,7 @@ void decode_everything(std::span<const std::uint8_t> bytes) {
   (void)decode_handshake(bytes);
   (void)decode_fetch_request(bytes);
   check_decoded_domain(decode_fetch_response(bytes));
+  (void)peerhood::decode_reliable_frame(bytes);
 }
 
 Bytes sample_fetch_response() {
@@ -77,6 +79,34 @@ Bytes sample_bridge_handshake() {
   return encode_bridge(bridge);
 }
 
+// The crash-recovery handshake: a client replaying a journalled session
+// against a restarted daemon, directly...
+Bytes sample_resume_restart() {
+  ConnectRequest request;
+  request.session_id = 77;
+  request.service = "print";
+  return encode_resume_restart(request);
+}
+
+// ...and relayed, as the final command of a bridge chain.
+Bytes sample_bridge_resume_restart() {
+  BridgeRequest bridge;
+  bridge.destination = MacAddress::from_index(4);
+  bridge.final_command = Command::kResumeRestart;
+  bridge.inner = ConnectRequest{77, "print", std::nullopt};
+  return encode_bridge(bridge);
+}
+
+// The reliability layer's wire frames (window-advertising ack included).
+Bytes sample_reliable_data() {
+  return peerhood::encode_reliable_data(0x1122334455667788ull,
+                                        Bytes{0xDE, 0xAD, 0xBE, 0xEF});
+}
+
+Bytes sample_reliable_ack() {
+  return peerhood::encode_reliable_ack(0x8877665544332211ull, 192);
+}
+
 Bytes sample_fetch_request() {
   FetchRequest request;
   request.request_id = 3;
@@ -101,7 +131,10 @@ TEST(ProtocolFuzz, BitFlippedValidFramesNeverCrashDecoders) {
   const Bytes samples[] = {sample_fetch_response(), sample_fetch_request(),
                            sample_bridge_handshake(), encode_ok(),
                            encode_fail(ErrorCode::kProtocolError, "boom"),
-                           encode_connect(ConnectRequest{1, "svc", {}})};
+                           encode_connect(ConnectRequest{1, "svc", {}}),
+                           sample_resume_restart(),
+                           sample_bridge_resume_restart(),
+                           sample_reliable_data(), sample_reliable_ack()};
   for (const Bytes& sample : samples) {
     // The pristine frame must decode (sanity), then every single-bit
     // mutation must be survivable.
@@ -116,7 +149,10 @@ TEST(ProtocolFuzz, BitFlippedValidFramesNeverCrashDecoders) {
 
 TEST(ProtocolFuzz, TruncationsNeverCrashDecoders) {
   const Bytes samples[] = {sample_fetch_response(), sample_fetch_request(),
-                           sample_bridge_handshake()};
+                           sample_bridge_handshake(),
+                           sample_resume_restart(),
+                           sample_bridge_resume_restart(),
+                           sample_reliable_data(), sample_reliable_ack()};
   for (const Bytes& sample : samples) {
     for (std::size_t len = 0; len < sample.size(); ++len) {
       decode_everything({sample.data(), len});

@@ -1,0 +1,166 @@
+// Proves the bounded-resource claim of the reliability layer with a counting
+// operator-new hook (same technique as test_snapshot_alloc): once the send
+// window — the channel's own or the peer-advertised one — is full,
+// ReliableChannel::send refuses with kCapacityExceeded and the refusing path
+// allocates *nothing*, so a never-draining peer bounds sender memory at the
+// window size instead of growing it. This TU overrides global operator
+// new/delete; each test source builds into its own binary, so the hook is
+// scoped to this suite.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <cstdlib>
+#include <new>
+
+#include "peerhood/reliable_channel.hpp"
+#include "scenario_util.hpp"
+
+namespace {
+
+std::atomic<std::uint64_t> g_allocations{0};
+
+void* counted_alloc(std::size_t size) {
+  ++g_allocations;
+  if (void* p = std::malloc(size)) return p;
+  throw std::bad_alloc{};
+}
+
+void* counted_aligned_alloc(std::size_t size, std::size_t align) {
+  ++g_allocations;
+  const std::size_t rounded = (size + align - 1) / align * align;
+  if (void* p = std::aligned_alloc(align, rounded)) return p;
+  throw std::bad_alloc{};
+}
+
+}  // namespace
+
+void* operator new(std::size_t size) { return counted_alloc(size); }
+void* operator new[](std::size_t size) { return counted_alloc(size); }
+void* operator new(std::size_t size, std::align_val_t align) {
+  return counted_aligned_alloc(size, static_cast<std::size_t>(align));
+}
+void* operator new[](std::size_t size, std::align_val_t align) {
+  return counted_aligned_alloc(size, static_cast<std::size_t>(align));
+}
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+void operator delete(void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t, std::align_val_t) noexcept {
+  std::free(p);
+}
+void operator delete[](void* p, std::size_t, std::align_val_t) noexcept {
+  std::free(p);
+}
+
+namespace peerhood {
+namespace {
+
+using node::Testbed;
+using testing::fast_node;
+using testing::reliable_bluetooth;
+
+// Two nodes, one session; the server side stays a *raw* Channel (no
+// reliability layer, so it never acks — the never-draining peer).
+class ReliableBackpressureTest : public ::testing::Test {
+ protected:
+  void build(std::uint64_t seed, ReliableConfig config) {
+    testbed_ = std::make_unique<Testbed>(seed);
+    testbed_->medium().configure(reliable_bluetooth());
+    client_ = &testbed_->add_node("client", {0.0, 0.0},
+                                  fast_node(MobilityClass::kStatic));
+    server_ = &testbed_->add_node("server", {4.0, 0.0},
+                                  fast_node(MobilityClass::kStatic));
+    (void)server_->library().register_service(
+        ServiceInfo{"sink", "", 0},
+        [this](ChannelPtr channel, const wire::ConnectRequest&) {
+          server_channel_ = std::move(channel);
+        });
+    testbed_->run_discovery_rounds(3);
+    auto result = client_->connect_blocking(server_->mac(), "sink");
+    ASSERT_TRUE(result.ok()) << result.error().to_string();
+    channel_ = result.value();
+    reliable_ = std::make_unique<ReliableChannel>(testbed_->sim(), channel_,
+                                                  config);
+  }
+
+  std::unique_ptr<Testbed> testbed_;
+  node::Node* client_{nullptr};
+  node::Node* server_{nullptr};
+  ChannelPtr channel_;
+  ChannelPtr server_channel_;
+  std::unique_ptr<ReliableChannel> reliable_;
+};
+
+TEST_F(ReliableBackpressureTest, RefusedSendsAllocateNothingOnceWindowFull) {
+  ReliableConfig config;
+  config.window = 3;
+  build(1, config);
+
+  // Fill the window (these sends buffer + transmit and may allocate).
+  for (int i = 0; i < 3; ++i) {
+    ASSERT_TRUE(reliable_->send(Bytes(64, 0xAB)).ok());
+  }
+  ASSERT_EQ(reliable_->unacked(), 3u);
+
+  // Pre-build the payloads the refused sends will consume; moving them into
+  // send() transfers the existing buffer, so the measured region performs no
+  // allocation of its own.
+  std::vector<Bytes> payloads;
+  payloads.reserve(200);
+  for (int i = 0; i < 200; ++i) payloads.emplace_back(64, 0xCD);
+
+  const std::uint64_t before = g_allocations.load();
+  bool all_refused = true;
+  for (int i = 0; i < 200; ++i) {
+    // (No gtest assertions inside the measured region — they allocate.)
+    const Status status = reliable_->send(std::move(payloads[i]));
+    all_refused = all_refused && !status.ok() &&
+                  status.error().code == ErrorCode::kCapacityExceeded;
+  }
+  EXPECT_TRUE(all_refused);
+  EXPECT_EQ(g_allocations.load(), before)
+      << "the refusing send path must not allocate — backpressure, not "
+         "unbounded buffering";
+  EXPECT_EQ(reliable_->unacked(), 3u);
+}
+
+TEST_F(ReliableBackpressureTest, PeerAdvertisedWindowBoundsSenderWithoutAllocating) {
+  build(2, ReliableConfig{});  // own window 256 — the peer's is the binding one
+
+  // Deliver one frame, then have the (raw) server hand-craft a cumulative
+  // ack that advertises only 2 free reorder slots.
+  ASSERT_TRUE(reliable_->send(Bytes{0x01}).ok());
+  testbed_->run_for(2.0);
+  ASSERT_NE(server_channel_, nullptr);
+  ASSERT_TRUE(server_channel_->write(encode_reliable_ack(2, 2)).ok());
+  testbed_->run_for(2.0);
+  ASSERT_EQ(reliable_->unacked(), 0u);
+  ASSERT_EQ(reliable_->peer_window(), 2u);
+
+  // The advertised window admits exactly two more frames...
+  ASSERT_TRUE(reliable_->send(Bytes{0x02}).ok());
+  ASSERT_TRUE(reliable_->send(Bytes{0x03}).ok());
+
+  std::vector<Bytes> payloads;
+  payloads.reserve(100);
+  for (int i = 0; i < 100; ++i) payloads.emplace_back(64, 0xEF);
+
+  // ...and every send beyond it is refused without allocating.
+  const std::uint64_t before = g_allocations.load();
+  bool all_refused = true;
+  for (int i = 0; i < 100; ++i) {
+    const Status status = reliable_->send(std::move(payloads[i]));
+    all_refused = all_refused && !status.ok() &&
+                  status.error().code == ErrorCode::kCapacityExceeded;
+  }
+  EXPECT_TRUE(all_refused);
+  EXPECT_EQ(g_allocations.load(), before);
+  EXPECT_EQ(reliable_->unacked(), 2u);
+}
+
+}  // namespace
+}  // namespace peerhood

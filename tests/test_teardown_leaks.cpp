@@ -611,5 +611,166 @@ TEST(QualityObserverTeardown, StopIsIdempotentAndReleasesObserver) {
 
 }  // namespace observer_teardown
 
+// --- Crash teardown (node crash plane) ---------------------------------------
+// Node::crash() hard-kills a full stack at an "interesting" phase — with a
+// handshake in flight, with unacked reliable frames outstanding, with a
+// handover resume dialing through the crashed node — and the world keeps
+// running, restarts, and tears down. ASan/LSan own the assert: the crash
+// must sever every handler the dead stack installed, leak- and UAF-free.
+
+namespace crash_teardown {
+
+TEST(CrashTeardown, CrashMidHandshake) {
+  auto testbed = std::make_unique<Testbed>(31);
+  testbed->medium().configure(reliable_bluetooth());
+  auto& a = testbed->add_node("a", {0.0, 0.0},
+                              fast_node(MobilityClass::kDynamic));
+  auto& b = testbed->add_node("b", {5.0, 0.0},
+                              fast_node(MobilityClass::kStatic));
+  std::vector<ChannelPtr> sessions;
+  (void)b.library().register_service(
+      ServiceInfo{"svc", "", 0},
+      [&](ChannelPtr channel, const wire::ConnectRequest&) {
+        sessions.push_back(std::move(channel));
+      });
+  testbed->run_discovery_rounds(3);
+
+  bool resolved = false;
+  a.library().connect(b.mac(), "svc", {},
+                      [&](Result<ChannelPtr>) { resolved = true; });
+  // Into the establishment window: the PH_CONNECT frame is in flight or
+  // freshly pending at the engine when the responder dies.
+  testbed->run_for(0.9);
+  b.crash();
+  testbed->run_for(90.0);  // dial retries exhaust against the dead node
+  EXPECT_TRUE(resolved);
+  b.restart();
+  testbed->run_for(5.0);
+  testbed.reset();
+  SUCCEED();
+}
+
+TEST(CrashTeardown, CrashMidReliableTransfer) {
+  auto testbed = std::make_unique<Testbed>(32);
+  testbed->medium().configure(reliable_bluetooth());
+  auto& a = testbed->add_node("a", {0.0, 0.0},
+                              fast_node(MobilityClass::kDynamic));
+  auto& b = testbed->add_node("b", {5.0, 0.0},
+                              fast_node(MobilityClass::kStatic));
+  std::vector<ChannelPtr> sessions;
+  std::vector<std::unique_ptr<ReliableChannel>> server_layers;
+  (void)b.library().register_service(
+      ServiceInfo{"sink", "", 0},
+      [&](ChannelPtr channel, const wire::ConnectRequest&) {
+        server_layers.push_back(std::make_unique<ReliableChannel>(
+            testbed->sim(), channel));
+        sessions.push_back(std::move(channel));
+      });
+  testbed->run_discovery_rounds(3);
+
+  auto result = a.connect_blocking(b.mac(), "sink");
+  ASSERT_TRUE(result.ok()) << result.error().to_string();
+  const ChannelPtr channel = result.value();
+  auto reliable = std::make_unique<ReliableChannel>(testbed->sim(), channel);
+  for (int i = 0; i < 6; ++i) {
+    ASSERT_TRUE(reliable->send(Bytes(32, 0x42)).ok());
+  }
+  testbed->run_for(0.05);  // frames (and acks) in flight both ways
+  b.crash();
+  // The client layer keeps probing the dead link (backed-off retransmits on
+  // a closed transport) — harmlessly.
+  testbed->run_for(20.0);
+  EXPECT_GT(reliable->unacked(), 0u);
+  b.restart();
+  testbed->run_for(10.0);
+  // Teardown with the unacked tail still buffered. Reliability layers go
+  // before the testbed (they hold timers on its simulator — the same
+  // member-order rule ScenarioRunner follows), channels in awkward order.
+  reliable.reset();
+  server_layers.clear();
+  sessions.clear();
+  testbed.reset();
+  EXPECT_FALSE(channel->open());
+}
+
+TEST(CrashTeardown, CrashMidHandover) {
+  // The resume-via-bridge dial is in flight *through* the node that
+  // crashes; the dial must resolve against the dead relay (error, retry,
+  // give-up) without touching freed state, and the controller survives to
+  // be destroyed normally.
+  Testbed testbed{33};
+  testbed.medium().configure(reliable_bluetooth());
+  auto& a = testbed.add_node("a", {0.0, 0.0},
+                             fast_node(MobilityClass::kDynamic));
+  auto& s = testbed.add_node("s", {4.0, 0.0},
+                             fast_node(MobilityClass::kStatic));
+  auto& c = testbed.add_node("c", {2.0, 3.0}, fast_node(MobilityClass::kStatic));
+  std::vector<ChannelPtr> server_sessions;
+  (void)s.library().register_service(
+      ServiceInfo{"print", "", 0},
+      [&](ChannelPtr channel, const wire::ConnectRequest&) {
+        server_sessions.push_back(std::move(channel));
+      });
+  testbed.run_discovery_rounds(4);
+
+  auto result = a.connect_blocking(s.mac(), "print");
+  ASSERT_TRUE(result.ok());
+  const ChannelPtr channel = result.value();
+  const double t0 = testbed.sim().now().seconds();
+  channel->connection()->set_quality_override([t0](SimTime now) {
+    return static_cast<int>(250.0 - (now.seconds() - t0));
+  });
+
+  auto controller = std::make_unique<HandoverController>(
+      a.library(), channel, handover::HandoverConfig{});
+  controller->start();
+  const bool attempting = testing::run_until(
+      testbed,
+      [&] {
+        return controller->stats().route_attempts >= 1 &&
+               controller->stats().handovers == 0;
+      },
+      60.0);
+  ASSERT_TRUE(attempting);
+  c.crash();  // the bridge being dialed dies mid-dial
+  testbed.run_for(60.0);
+  c.restart();
+  testbed.run_for(30.0);
+  controller.reset();
+  SUCCEED();
+}
+
+TEST(CrashTeardown, CrashedNodeTornDownWhileStillDown) {
+  // The testbed is destroyed with one node crashed (never restarted) and a
+  // peer still holding a session to it: nothing the dead stack dropped may
+  // survive, nothing the live stack holds may dangle.
+  auto testbed = std::make_unique<Testbed>(34);
+  testbed->medium().configure(reliable_bluetooth());
+  auto& a = testbed->add_node("a", {0.0, 0.0},
+                              fast_node(MobilityClass::kDynamic));
+  auto& b = testbed->add_node("b", {5.0, 0.0},
+                              fast_node(MobilityClass::kStatic));
+  std::vector<ChannelPtr> sessions;
+  (void)b.library().register_service(
+      ServiceInfo{"svc", "", 0},
+      [&](ChannelPtr channel, const wire::ConnectRequest&) {
+        sessions.push_back(std::move(channel));
+      });
+  testbed->run_discovery_rounds(3);
+  auto result = a.connect_blocking(b.mac(), "svc");
+  ASSERT_TRUE(result.ok());
+  const ChannelPtr channel = result.value();
+  ASSERT_TRUE(channel->write(Bytes{1, 2, 3}).ok());
+  testbed->run_for(0.01);  // frame in flight into the crash
+  b.crash();
+  EXPECT_TRUE(b.crashed());
+  b.crash();  // idempotent
+  testbed->run_for(2.0);
+  testbed.reset();
+  EXPECT_FALSE(channel->open());
+}
+
+}  // namespace crash_teardown
+
 }  // namespace
 }  // namespace peerhood
