@@ -221,7 +221,8 @@ ScenarioRunner::ScenarioRunner(ScenarioSpec spec) : spec_{std::move(spec)} {}
 ScenarioRunner::~ScenarioRunner() = default;
 
 Status ScenarioRunner::setup() {
-  testbed_ = std::make_unique<node::Testbed>(spec_.seed, spec_.quality_model);
+  testbed_ = std::make_unique<node::Testbed>(spec_.seed, spec_.quality_model,
+                                             spec_.shards);
   if (spec_.radio.has_value()) testbed_->medium().configure(*spec_.radio);
 
   // The server-side accept handler needs to know, per service, whether its

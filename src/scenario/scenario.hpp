@@ -184,6 +184,12 @@ struct ScenarioSpec {
   FaultScheduleSpec faults{};
   // Node-crash plane for the scenario body; same lazy-construction contract.
   CrashScheduleSpec crashes{};
+  // Simulation shard count handed to the Testbed: 1 = the plain
+  // single-threaded kernel, N > 1 = the conservative windowed core on a
+  // worker pool, 0 (default) = the PEERHOOD_SHARDS environment variable.
+  // The stack runs on the control shard, so metrics are identical under
+  // every shard count (tests/test_shard_scenario_parity.cpp).
+  std::uint32_t shards{0};
 };
 
 struct SessionMetrics {

@@ -11,7 +11,8 @@ constexpr std::uint64_t kAllOnes = ~std::uint64_t{0};
 }  // namespace
 
 EventQueue::EventQueue()
-    : buckets_(kWheelSize), occupancy_(kWheelWords, 0) {}
+    : buckets_(kWheelSize), occupancy_(kWheelWords, 0),
+      buckets2_(kWheel2Size) {}
 
 std::uint32_t EventQueue::acquire_slot() {
   if (!free_slots_.empty()) {
@@ -36,14 +37,22 @@ EventId EventQueue::schedule(SimTime at, InlineCallable action) {
   const std::uint32_t slot = acquire_slot();
   Slot& s = slots_[slot];
   s.action = std::move(action);
+  s.at = at;
   s.seq = next_seq_++;
   const EventId id = make_id(s.gen, slot);
+  const std::int64_t at_us = at.since_epoch.count();
   const std::int64_t delta_us = (at - now_).count();
   if (delta_us >= 0 && delta_us < static_cast<std::int64_t>(kWheelSize)) {
     s.state = SlotState::kWheelLive;
-    wheel_append(bucket_of(at.since_epoch.count()), slot);
+    wheel_append(bucket_of(at_us), slot);
+  } else if (delta_us > 0 &&
+             frame_of(at_us) - frame_of(now_.since_epoch.count()) <
+                 static_cast<std::int64_t>(kWheel2Size)) {
+    s.state = SlotState::kWheel2Live;
+    wheel2_append(static_cast<std::size_t>(frame_of(at_us)) & kWheel2Mask,
+                  slot);
   } else {
-    // Past deadlines (delta < 0) also land here; run_next flushes the wheel
+    // Past deadlines (delta < 0) also land here; run_next flushes the wheels
     // if and when the clock actually moves backwards to fire one.
     s.state = SlotState::kHeapLive;
     heap_push(Entry{at, s.seq, id});
@@ -68,6 +77,10 @@ void EventQueue::cancel(EventId id) {
     // chain physically unlinks it (wheel_peek, flush, or reset_stale).
     s.state = SlotState::kWheelCancelled;
     if (++s.gen == 0) ++s.gen;
+  } else if (s.state == SlotState::kWheel2Live) {
+    // Same deferral: the frame bucket unlinks it on cascade/flush/reset.
+    s.state = SlotState::kWheel2Cancelled;
+    if (++s.gen == 0) ++s.gen;
   } else {
     release_slot(slot);
   }
@@ -78,6 +91,19 @@ void EventQueue::reset_stale() {
   // Heap entries' slots were already released when they were cancelled;
   // dropping the entries is enough.
   heap_.clear();
+  for (std::size_t word = 0; word < kWheel2Words; ++word) {
+    std::uint64_t bits = occupancy2_[word];
+    while (bits != 0) {
+      const std::size_t bucket =
+          (word << 6) | std::size_t(std::countr_zero(bits));
+      bits &= bits - 1;
+      while (buckets2_[bucket].head != kNilSlot) {
+        const std::uint32_t slot = wheel2_pop_head(bucket);
+        slots_[slot].state = SlotState::kIdle;
+        free_slots_.push_back(slot);
+      }
+    }
+  }
   for (std::size_t sword = 0; sword < kSummaryWords; ++sword) {
     std::uint64_t sbits = occupancy_summary_[sword];
     while (sbits != 0) {
@@ -184,7 +210,6 @@ std::size_t EventQueue::wheel_peek() const {
 }
 
 void EventQueue::flush_wheel_to_heap() {
-  const std::size_t start = bucket_of(now_.since_epoch.count());
   for (std::size_t sword = 0; sword < kSummaryWords; ++sword) {
     std::uint64_t sbits = occupancy_summary_[sword];
     while (sbits != 0) {
@@ -196,9 +221,6 @@ void EventQueue::flush_wheel_to_heap() {
         const std::size_t bucket =
             (word << 6) | std::size_t(std::countr_zero(bits));
         bits &= bits - 1;
-        const SimTime at =
-            now_ + microseconds(static_cast<std::int64_t>(
-                       (bucket - start) & kWheelMask));
         while (buckets_[bucket].head != kNilSlot) {
           const std::uint32_t slot = wheel_pop_head(bucket);
           Slot& s = slots_[slot];
@@ -207,10 +229,138 @@ void EventQueue::flush_wheel_to_heap() {
             free_slots_.push_back(slot);
           } else {
             s.state = SlotState::kHeapLive;
-            heap_push(Entry{at, s.seq, make_id(s.gen, slot)});
+            heap_push(Entry{s.at, s.seq, make_id(s.gen, slot)});
           }
         }
       }
+    }
+  }
+  for (std::size_t word = 0; word < kWheel2Words; ++word) {
+    std::uint64_t bits = occupancy2_[word];
+    while (bits != 0) {
+      const std::size_t bucket =
+          (word << 6) | std::size_t(std::countr_zero(bits));
+      bits &= bits - 1;
+      while (buckets2_[bucket].head != kNilSlot) {
+        const std::uint32_t slot = wheel2_pop_head(bucket);
+        Slot& s = slots_[slot];
+        if (s.state == SlotState::kWheel2Cancelled) {
+          s.state = SlotState::kIdle;
+          free_slots_.push_back(slot);
+        } else {
+          s.state = SlotState::kHeapLive;
+          heap_push(Entry{s.at, s.seq, make_id(s.gen, slot)});
+        }
+      }
+    }
+  }
+}
+
+// --- second-level wheel ------------------------------------------------------
+
+void EventQueue::occupancy2_set(std::size_t bucket) const {
+  occupancy2_[bucket >> 6] |= std::uint64_t{1} << (bucket & 63);
+}
+
+void EventQueue::occupancy2_clear(std::size_t bucket) const {
+  occupancy2_[bucket >> 6] &= ~(std::uint64_t{1} << (bucket & 63));
+}
+
+void EventQueue::wheel2_append(std::size_t bucket, std::uint32_t slot) {
+  Bucket& b = buckets2_[bucket];
+  slots_[slot].next = kNilSlot;
+  if (b.head == kNilSlot) {
+    b.head = b.tail = slot;
+    occupancy2_set(bucket);
+  } else {
+    slots_[b.tail].next = slot;
+    b.tail = slot;
+  }
+}
+
+std::uint32_t EventQueue::wheel2_pop_head(std::size_t bucket) const {
+  Bucket& b = buckets2_[bucket];
+  const std::uint32_t head = b.head;
+  assert(head != kNilSlot);
+  b.head = slots_[head].next;
+  if (b.head == kNilSlot) {
+    b.tail = kNilSlot;
+    occupancy2_clear(bucket);
+  }
+  slots_[head].next = kNilSlot;
+  return head;
+}
+
+std::size_t EventQueue::wheel2_scan(std::size_t start) const {
+  const std::size_t start_word = start >> 6;
+  std::uint64_t bits = occupancy2_[start_word] & (kAllOnes << (start & 63));
+  std::size_t word = start_word;
+  // The final iteration re-reads the starting word in full, covering
+  // buckets cyclically "behind" the start position.
+  for (std::size_t i = 0; i <= kWheel2Words; ++i) {
+    if (bits != 0) {
+      return (word << 6) | std::size_t(std::countr_zero(bits));
+    }
+    word = (word + 1) & (kWheel2Words - 1);
+    bits = occupancy2_[word];
+  }
+  return kNoBucket2;
+}
+
+void EventQueue::wheel_insert_sorted(std::size_t bucket,
+                                     std::uint32_t slot) const {
+  // Bucket chains are always seq-increasing: appends carry the globally
+  // newest seq, and this path preserves the order — so a single walk finds
+  // the insertion point.
+  Bucket& b = buckets_[bucket];
+  slots_[slot].next = kNilSlot;
+  if (b.head == kNilSlot) {
+    b.head = b.tail = slot;
+    occupancy_set(bucket);
+    return;
+  }
+  if (slots_[slot].seq > slots_[b.tail].seq) {
+    slots_[b.tail].next = slot;
+    b.tail = slot;
+    return;
+  }
+  std::uint32_t prev = kNilSlot;
+  std::uint32_t cur = b.head;
+  while (cur != kNilSlot && slots_[cur].seq < slots_[slot].seq) {
+    prev = cur;
+    cur = slots_[cur].next;
+  }
+  slots_[slot].next = cur;
+  if (prev == kNilSlot) {
+    b.head = slot;
+  } else {
+    slots_[prev].next = slot;
+  }
+}
+
+void EventQueue::cascade_frame(std::size_t bucket) const {
+  // Reconstruct the frame this bucket represents (unique within one wheel
+  // revolution of the current frame; a debris-only bucket may reconstruct
+  // to an earlier frame, which only makes the window slide conservative).
+  const std::int64_t cur_frame = frame_of(now_.since_epoch.count());
+  const std::size_t start = static_cast<std::size_t>(cur_frame) & kWheel2Mask;
+  const std::int64_t frame =
+      cur_frame + static_cast<std::int64_t>((bucket - start) & kWheel2Mask);
+  const SimTime frame_start =
+      SimTime{} + microseconds(frame << kWheelBits);
+  if (frame_start > now_) now_ = frame_start;
+  while (buckets2_[bucket].head != kNilSlot) {
+    const std::uint32_t slot = wheel2_pop_head(bucket);
+    Slot& s = slots_[slot];
+    if (s.state == SlotState::kWheel2Cancelled) {
+      s.state = SlotState::kIdle;
+      free_slots_.push_back(slot);
+    } else {
+      assert(s.state == SlotState::kWheel2Live);
+      assert(s.at >= now_ && (s.at - now_).count() <
+                                 static_cast<std::int64_t>(kWheelSize));
+      s.state = SlotState::kWheelLive;
+      wheel_insert_sorted(bucket_of(s.at.since_epoch.count()), slot);
     }
   }
 }
@@ -256,32 +406,43 @@ void EventQueue::heap_pop_top() const {
 // --- pop paths ---------------------------------------------------------------
 
 EventQueue::Candidate EventQueue::peek() const {
-  while (!heap_.empty() && !is_live(heap_.front().id)) {
-    heap_pop_top();
-  }
-  const std::size_t bucket = wheel_peek();
-  Candidate c;
-  if (bucket != kNoBucket) {
-    const std::size_t start = bucket_of(now_.since_epoch.count());
-    const SimTime wheel_at =
-        now_ + microseconds(
-                   static_cast<std::int64_t>((bucket - start) & kWheelMask));
-    if (heap_.empty() || wheel_at < heap_.front().at ||
-        (wheel_at == heap_.front().at &&
-         slots_[buckets_[bucket].head].seq < heap_.front().seq)) {
-      c.any = true;
-      c.from_wheel = true;
-      c.at = wheel_at;
-      c.bucket = bucket;
-      return c;
+  for (;;) {
+    while (!heap_.empty() && !is_live(heap_.front().id)) {
+      heap_pop_top();
     }
+    const std::size_t bucket = wheel_peek();
+    Candidate c;
+    if (bucket != kNoBucket) {
+      const SimTime wheel_at = slots_[buckets_[bucket].head].at;
+      if (heap_.empty() || wheel_at < heap_.front().at ||
+          (wheel_at == heap_.front().at &&
+           slots_[buckets_[bucket].head].seq < heap_.front().seq)) {
+        c.any = true;
+        c.from_wheel = true;
+        c.at = wheel_at;
+        c.bucket = bucket;
+      }
+    }
+    if (!c.any && !heap_.empty()) {
+      c.any = true;
+      c.from_wheel = false;
+      c.at = heap_.front().at;
+    }
+    // The winner so far beats the second wheel only if it fires strictly
+    // before the earliest occupied frame could; on a tie (or no winner) the
+    // frame cascades into the first wheel and the comparison reruns exactly.
+    const std::size_t start2 =
+        static_cast<std::size_t>(frame_of(now_.since_epoch.count())) &
+        kWheel2Mask;
+    const std::size_t b2 = wheel2_scan(start2);
+    if (b2 == kNoBucket2) return c;
+    const std::int64_t cur_frame = frame_of(now_.since_epoch.count());
+    const std::int64_t frame =
+        cur_frame + static_cast<std::int64_t>((b2 - start2) & kWheel2Mask);
+    const SimTime frame_start = SimTime{} + microseconds(frame << kWheelBits);
+    if (c.any && c.at < frame_start) return c;
+    cascade_frame(b2);
   }
-  if (!heap_.empty()) {
-    c.any = true;
-    c.from_wheel = false;
-    c.at = heap_.front().at;
-  }
-  return c;
 }
 
 SimTime EventQueue::next_time() const {

@@ -18,17 +18,27 @@
 //    the hot path: a comparison heap pays its worst case exactly here
 //    (near-now keys sift to the root on push and force full sift-downs on
 //    pop), the wheel pays nothing.
-//  * Far events — keepalive periods, inquiry cycles, connect delays — go to
-//    an implicit 4-ary min-heap (shallower than a binary heap, and the four
+//  * Mid events — keepalive periods, inquiry cycles, connect delays — land
+//    in a hierarchical second-level wheel of 2^10 buckets, each covering one
+//    2^15 µs *frame* of the first wheel (~33.6 s horizon). Schedule is the
+//    same O(1) chained append; when the clock enters a frame, its bucket
+//    cascades into the first-level wheel (each event re-bucketed in O(1),
+//    amortized one cascade per event). Live entries can never alias a
+//    bucket: the clock cannot pass a live event, so every live frame lies
+//    within one wheel revolution of the current frame.
+//  * Far events — anything beyond the second wheel's horizon — go to an
+//    implicit 4-ary min-heap (shallower than a binary heap, and the four
 //    children of a node share a cache line), with cancelled entries dropped
 //    lazily when they surface at the top.
 //
-// Ordering across the two tiers stays exact: candidates are compared by
-// (time, global sequence) when both are non-empty. A wheel bucket holds
-// events of a single timestamp (two distinct in-window times can never
-// collide in a bucket, see wheel_peek), so bucket FIFO order is sequence
-// order. Once the arena, free list, heap and wheel have grown to the
-// scenario's high-water mark, schedule/cancel/fire allocate nothing.
+// Ordering across the three tiers stays exact: candidates are compared by
+// (time, global sequence) when both are non-empty, and the cascade path
+// inserts by sequence so a far-scheduled event and a near-scheduled event
+// sharing a timestamp still fire in insertion order. A first-wheel bucket
+// holds events of a single timestamp (two distinct in-window times can
+// never collide in a bucket, see wheel_peek), so bucket chain order is
+// sequence order. Once the arena, free list, heap and wheels have grown to
+// the scenario's high-water mark, schedule/cancel/fire allocate nothing.
 #pragma once
 
 #include <cstdint>
@@ -81,17 +91,27 @@ class EventQueue {
   static constexpr std::size_t kWheelWords = kWheelSize / 64;
   static constexpr std::size_t kSummaryWords = kWheelWords / 64;
   static constexpr std::size_t kNoBucket = kWheelSize;
+  // Second-level wheel: one bucket per 2^15 µs frame, 2^10 frames of
+  // horizon (~33.6 s — covers keepalives, inquiry cycles, connect delays).
+  static constexpr std::size_t kWheel2Bits = 10;
+  static constexpr std::size_t kWheel2Size = std::size_t{1} << kWheel2Bits;
+  static constexpr std::size_t kWheel2Mask = kWheel2Size - 1;
+  static constexpr std::size_t kWheel2Words = kWheel2Size / 64;
+  static constexpr std::size_t kNoBucket2 = kWheel2Size;
 
   enum class SlotState : std::uint8_t {
     kIdle,            // free or fired; not in any structure
-    kWheelLive,       // chained in a wheel bucket, pending
-    kWheelCancelled,  // chained in a wheel bucket, cancelled — the slot is
-                      // returned to the pool only when physically unlinked
-    kHeapLive,        // referenced by a live heap entry
+    kWheelLive,       // chained in a first-wheel bucket, pending
+    kWheelCancelled,  // chained in a first-wheel bucket, cancelled — the slot
+                      // is returned to the pool only when physically unlinked
+    kWheel2Live,       // chained in a second-wheel frame bucket, pending
+    kWheel2Cancelled,  // chained in a second-wheel bucket, cancelled
+    kHeapLive,         // referenced by a live heap entry
   };
 
   struct Slot {
     InlineCallable action;
+    SimTime at{};                  // absolute deadline (cascade + flush)
     std::uint64_t seq{0};          // insertion order (wheel ordering + flush)
     std::uint32_t gen{1};
     std::uint32_t next{kNilSlot};  // intrusive wheel-bucket chain
@@ -147,7 +167,14 @@ class EventQueue {
   [[nodiscard]] static std::size_t bucket_of(std::int64_t at_us) {
     return static_cast<std::size_t>(at_us) & kWheelMask;
   }
+  [[nodiscard]] static std::int64_t frame_of(std::int64_t at_us) {
+    return at_us >> kWheelBits;
+  }
   void wheel_append(std::size_t bucket, std::uint32_t slot);
+  // Chain insert keeping the bucket seq-sorted — the cascade path, where the
+  // incoming (older) event may need to fire before a later same-time event
+  // that was scheduled near-horizon directly.
+  void wheel_insert_sorted(std::size_t bucket, std::uint32_t slot) const;
   // Unlinks the bucket head (precondition: non-empty) and returns it.
   std::uint32_t wheel_pop_head(std::size_t bucket) const;
   void occupancy_set(std::size_t bucket) const;
@@ -157,9 +184,23 @@ class EventQueue {
   // Nearest bucket with a *live* head, draining cancelled entries met on the
   // way; kNoBucket when the wheel holds no live event.
   [[nodiscard]] std::size_t wheel_peek() const;
+  // --- second-level wheel ----------------------------------------------------
+  void wheel2_append(std::size_t bucket, std::uint32_t slot);
+  std::uint32_t wheel2_pop_head(std::size_t bucket) const;
+  void occupancy2_set(std::size_t bucket) const;
+  void occupancy2_clear(std::size_t bucket) const;
+  // First occupied frame bucket at cyclic distance >= 0 from `start`, or
+  // kNoBucket2 when the second wheel is empty.
+  [[nodiscard]] std::size_t wheel2_scan(std::size_t start) const;
+  // Empties frame bucket `bucket` into the first wheel (live entries
+  // seq-sorted into their 1 µs buckets, cancelled debris recycled), sliding
+  // the window base to the frame start. Legal only when no live event lies
+  // before the frame start — peek() establishes that before calling.
+  void cascade_frame(std::size_t bucket) const;
+
   // Scheduling before `now_` (impossible through the Simulator, which clamps
   // to its clock, but legal on the raw queue) would move the wheel's window
-  // base backwards under its entries; spill them into the heap first.
+  // base backwards under its entries; spill both wheels into the heap first.
   void flush_wheel_to_heap();
   // Called whenever live_count_ drops to zero: everything still chained or
   // heaped is cancelled debris, so reclaim it eagerly. Without this, a
@@ -181,9 +222,14 @@ class EventQueue {
   mutable std::vector<Bucket> buckets_;
   mutable std::vector<std::uint64_t> occupancy_;          // one bit per bucket
   mutable std::uint64_t occupancy_summary_[kSummaryWords]{};  // per 64 buckets
-  // Last fired time: the wheel's window base. Wheel entries always lie in
-  // [now_, now_ + kWheelSize) microseconds.
-  SimTime now_{};
+  mutable std::vector<Bucket> buckets2_;                  // per-frame chains
+  mutable std::uint64_t occupancy2_[kWheel2Words]{};
+  // Last fired time: the wheel's window base. First-wheel entries always lie
+  // in [now_, now_ + kWheelSize) microseconds; second-wheel entries in
+  // frames [frame(now_), frame(now_) + kWheel2Size). Mutable: a cascade from
+  // const peek() slides the base to the frame start (never past a live
+  // event, so the Simulator's clock contract is unaffected).
+  mutable SimTime now_{};
   std::uint64_t next_seq_{1};
   std::size_t live_count_{0};
 };

@@ -1,0 +1,181 @@
+#include "sim/shard.hpp"
+
+#include <algorithm>
+#include <limits>
+
+namespace peerhood::sim {
+
+namespace {
+
+// splitmix64 finalizer: derives shard seeds from (root seed, shard index)
+// only — independent of the shard count, so a given shard's RNG stream is
+// stable as the world is re-partitioned.
+std::uint64_t mix_seed(std::uint64_t seed, std::uint32_t shard) {
+  std::uint64_t z = seed + 0x9e3779b97f4a7c15ULL * (shard + 1);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+constexpr SimTime kNoEvent{SimDuration{std::numeric_limits<std::int64_t>::max()}};
+
+}  // namespace
+
+ShardedSimulator::ShardedSimulator(std::uint64_t seed, std::uint32_t shards,
+                                   SimDuration lookahead)
+    : lookahead_{lookahead} {
+  assert(shards >= 1);
+  assert(lookahead_.count() > 0);
+  shards_.reserve(shards);
+  for (std::uint32_t i = 0; i < shards; ++i) {
+    // Shard 0 owns the root stream: a plain Simulator(seed) and shard 0 of
+    // any ShardedSimulator(seed, K) draw identical values in identical call
+    // order, which is what makes shards=1 vs shards=N scenario runs
+    // bit-comparable.
+    shards_.push_back(std::make_unique<ShardEngine>(
+        i, i == 0 ? seed : mix_seed(seed, i)));
+  }
+  mailboxes_.resize(static_cast<std::size_t>(shards) * shards);
+  for (auto& box : mailboxes_) box = std::make_unique<ShardMailbox>();
+}
+
+ShardedSimulator::~ShardedSimulator() {
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    quit_ = true;
+  }
+  work_cv_.notify_all();
+  for (std::thread& t : workers_) t.join();
+}
+
+void ShardedSimulator::post(std::uint32_t src, std::uint32_t dst,
+                            SimTime msg_at, InlineCallable action,
+                            bool immediate) {
+  assert(src < shards_.size() && dst < shards_.size());
+  ShardMessage msg;
+  msg.at = msg_at;
+  msg.seq = shards_[src]->next_out_seq();
+  msg.src = src;
+  msg.immediate = immediate;
+  msg.action = std::move(action);
+  mailbox(src, dst).push(std::move(msg));
+}
+
+void ShardedSimulator::start_workers() {
+  if (!workers_.empty() || shards_.size() == 1) return;
+  workers_.reserve(shards_.size() - 1);
+  for (std::uint32_t i = 1; i < shards_.size(); ++i) {
+    workers_.emplace_back([this, i] { worker_main(i); });
+  }
+}
+
+void ShardedSimulator::run_window_on(std::uint32_t shard_index) {
+  Simulator& sim = shards_[shard_index]->sim();
+  sim.run_before(window_horizon_);
+  if (window_hook_) window_hook_(shard_index, window_horizon_);
+}
+
+void ShardedSimulator::worker_main(std::uint32_t shard_index) {
+  std::uint64_t seen_epoch = 0;
+  for (;;) {
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      work_cv_.wait(lock,
+                    [&] { return quit_ || work_epoch_ != seen_epoch; });
+      if (quit_) return;
+      seen_epoch = work_epoch_;
+    }
+    run_window_on(shard_index);
+    {
+      const std::lock_guard<std::mutex> lock(mutex_);
+      if (--outstanding_ == 0) done_cv_.notify_one();
+    }
+  }
+}
+
+void ShardedSimulator::drain_mailboxes(SimTime horizon) {
+  const std::uint32_t k = shard_count();
+  for (std::uint32_t dst = 0; dst < k; ++dst) {
+    merge_scratch_.clear();
+    for (std::uint32_t src = 0; src < k; ++src) {
+      ShardMessage msg;
+      while (mailbox(src, dst).pop(msg)) {
+        merge_scratch_.push_back(std::move(msg));
+      }
+    }
+    if (merge_scratch_.empty()) continue;
+    // Deterministic merge: messages apply in (time, source shard, source
+    // sequence) order, independent of thread interleaving.
+    std::sort(merge_scratch_.begin(), merge_scratch_.end(),
+              [](const ShardMessage& a, const ShardMessage& b) {
+                if (a.at != b.at) return a.at < b.at;
+                if (a.src != b.src) return a.src < b.src;
+                return a.seq < b.seq;
+              });
+    Simulator& sim = shards_[dst]->sim();
+    for (ShardMessage& msg : merge_scratch_) {
+      ++stats_.messages;
+      if (msg.immediate) {
+        ++stats_.immediate;
+        msg.action();
+        continue;
+      }
+      if (msg.at < horizon) ++stats_.late_messages;
+      // schedule_at clamps to the destination clock, so even a late message
+      // (a lookahead violation) degrades to prompt delivery, never to a
+      // backwards-scheduled event.
+      (void)sim.schedule_at(msg.at, std::move(msg.action));
+    }
+  }
+}
+
+void ShardedSimulator::run_until(SimTime deadline) {
+  if (shards_.size() == 1) {
+    // The bit-for-bit single-threaded path: no windows, no threads, no
+    // barriers — exactly the pre-sharding kernel.
+    shards_[0]->sim().run_until(deadline);
+    return;
+  }
+  start_workers();
+  running_ = true;
+  for (;;) {
+    SimTime earliest = kNoEvent;
+    for (const auto& shard : shards_) {
+      if (!shard->sim().idle()) {
+        earliest = std::min(earliest, shard->sim().next_event_time());
+      }
+    }
+    if (earliest > deadline) break;
+    // Conservative horizon: any message produced by an event at time s >=
+    // earliest lands at s + lookahead >= horizon, i.e. strictly after
+    // every event this window may run. The +1 µs makes the deadline itself
+    // inclusive, matching Simulator::run_until. The horizon is clamped
+    // monotone: an event scheduled onto a long-idle shard (whose clock
+    // trails the fleet) must not drag the global time base backwards —
+    // it simply runs inside the current window instead.
+    window_horizon_ = std::max(
+        window_horizon_,
+        std::min(earliest + lookahead_, deadline + microseconds(1)));
+    ++stats_.windows;
+    {
+      const std::lock_guard<std::mutex> lock(mutex_);
+      outstanding_ = shard_count() - 1;
+      ++work_epoch_;
+    }
+    work_cv_.notify_all();
+    run_window_on(0);
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      done_cv_.wait(lock, [&] { return outstanding_ == 0; });
+    }
+    drain_mailboxes(window_horizon_);
+  }
+  // All shards are drained through the deadline; align their clocks on it
+  // (firing each shard's time observers once, as run_until would).
+  for (const auto& shard : shards_) {
+    shard->sim().advance_clock_to(deadline);
+  }
+  running_ = false;
+}
+
+}  // namespace peerhood::sim

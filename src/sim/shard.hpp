@@ -1,0 +1,225 @@
+// Sharded parallel simulation core (conservative PDES).
+//
+// A ShardedSimulator owns K ShardEngines — each a full Simulator kernel
+// (pooled EventQueue, virtual clock, forked RNG stream) — and runs them on a
+// thread pool under conservative time-window synchronization:
+//
+//   window:  every shard drains its events strictly before a shared horizon
+//            h = min(earliest pending event across shards + lookahead,
+//                    deadline), in parallel, touching only shard-local state.
+//   barrier: the coordinator drains the inter-shard mailboxes and applies
+//            their messages in a deterministic merge order.
+//
+// The lookahead is the minimum cross-shard interaction latency — for the
+// radio medium, the minimum per-hop frame latency (~30 ms by default): an
+// event at time s can only affect another shard at s + lookahead or later,
+// so nothing sent during a window can land inside it. Messages are
+// time-stamped and travel in lock-free per-(src,dst) SPSC mailboxes; the
+// merge sorts by (time, source shard, source sequence), so any (seed, shard
+// count) pair replays bit-identically regardless of thread scheduling.
+//
+// Two contracts the rest of the system leans on:
+//
+//  * shards=1 collapses to the plain single-threaded code path: run_until is
+//    forwarded verbatim to the lone Simulator — no windows, no threads, no
+//    barriers — byte-identical to the pre-sharding kernel.
+//  * Windows never manufacture clock advances: Simulator::run_before leaves
+//    each shard's clock at its last fired event, so time observers (position
+//    caches, quality observers) fire at exactly the same instants as in a
+//    single-threaded run. A workload confined to one shard therefore
+//    executes identically under any shard count.
+//
+// Shard 0 is the control shard: it is seeded with the root seed (its RNG
+// stream is the same stream a plain Simulator(seed) would own), and the
+// full PeerHood protocol stack runs there. Shards 1..K-1 are seeded with
+// streams derived from (seed, shard index) — independent of K.
+#pragma once
+
+#include <atomic>
+#include <cassert>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "common/sim_time.hpp"
+#include "sim/inline_callable.hpp"
+#include "sim/simulator.hpp"
+
+namespace peerhood::sim {
+
+// A time-stamped cross-shard message. `immediate` messages run at the
+// barrier itself (ownership transfers, state broadcasts); scheduled messages
+// become events on the destination shard at `at`.
+struct ShardMessage {
+  SimTime at{};
+  std::uint64_t seq{0};   // producer-side sequence (merge tie-break)
+  std::uint32_t src{0};
+  bool immediate{false};
+  InlineCallable action;
+};
+
+// Unbounded lock-free SPSC queue (single producer: the source shard's worker
+// during a window; single consumer: the coordinator after the barrier). The
+// classic two-stub linked design: the producer publishes via a release store
+// on the tail node's `next`, the consumer acquires it — no locks, no CAS.
+class ShardMailbox {
+ public:
+  ShardMailbox() : head_{new Node}, tail_{head_} {}
+  ~ShardMailbox() {
+    Node* n = head_;
+    while (n != nullptr) {
+      Node* next = n->next.load(std::memory_order_relaxed);
+      delete n;
+      n = next;
+    }
+  }
+  ShardMailbox(const ShardMailbox&) = delete;
+  ShardMailbox& operator=(const ShardMailbox&) = delete;
+
+  void push(ShardMessage msg) {
+    Node* n = new Node;
+    n->msg = std::move(msg);
+    tail_->next.store(n, std::memory_order_release);
+    tail_ = n;
+  }
+
+  // Pops the oldest message into `out`; false when empty.
+  bool pop(ShardMessage& out) {
+    Node* next = head_->next.load(std::memory_order_acquire);
+    if (next == nullptr) return false;
+    out = std::move(next->msg);
+    delete head_;
+    head_ = next;
+    return true;
+  }
+
+ private:
+  struct Node {
+    ShardMessage msg;
+    std::atomic<Node*> next{nullptr};
+  };
+  Node* head_;  // consumer-owned stub
+  Node* tail_;  // producer-owned
+};
+
+// One shard: a full Simulator kernel plus its outbound message sequencing.
+// The per-shard SpatialGrid and position cache live in the shard's
+// RadioMedium replica (see sim/sharded_medium.hpp), which registers itself
+// against this engine's simulator.
+class ShardEngine {
+ public:
+  ShardEngine(std::uint32_t id, std::uint64_t seed) : id_{id}, sim_{seed} {}
+
+  [[nodiscard]] std::uint32_t id() const { return id_; }
+  [[nodiscard]] Simulator& sim() { return sim_; }
+  [[nodiscard]] const Simulator& sim() const { return sim_; }
+  [[nodiscard]] std::uint64_t next_out_seq() { return out_seq_++; }
+
+ private:
+  std::uint32_t id_;
+  Simulator sim_;
+  std::uint64_t out_seq_{1};
+};
+
+struct ShardedSimulatorStats {
+  std::uint64_t windows{0};          // synchronization cycles run
+  std::uint64_t messages{0};         // cross-shard messages delivered
+  std::uint64_t immediate{0};        // of which barrier-immediate
+  std::uint64_t late_messages{0};    // scheduled below the safe horizon
+};
+
+class ShardedSimulator {
+ public:
+  // `lookahead` is the conservative window length: the minimum latency of
+  // any cross-shard interaction. The radio medium's minimum per-hop frame
+  // latency is the binding constraint; ShardedMedium tightens it on
+  // configure(). Must be > 0 for multi-shard runs.
+  explicit ShardedSimulator(std::uint64_t seed, std::uint32_t shards = 1,
+                            SimDuration lookahead = milliseconds(30));
+  ~ShardedSimulator();
+
+  ShardedSimulator(const ShardedSimulator&) = delete;
+  ShardedSimulator& operator=(const ShardedSimulator&) = delete;
+
+  [[nodiscard]] std::uint32_t shard_count() const {
+    return static_cast<std::uint32_t>(shards_.size());
+  }
+  [[nodiscard]] Simulator& shard(std::uint32_t i) { return shards_[i]->sim(); }
+  [[nodiscard]] ShardEngine& engine(std::uint32_t i) { return *shards_[i]; }
+  // The control shard's simulator — where the protocol stack runs. With
+  // shards=1 this is *the* simulator.
+  [[nodiscard]] Simulator& control() { return shards_[0]->sim(); }
+
+  [[nodiscard]] SimDuration lookahead() const { return lookahead_; }
+  // Only legal while stopped (between run_until calls).
+  void set_lookahead(SimDuration lookahead) {
+    assert(!running_ && lookahead.count() > 0);
+    lookahead_ = lookahead;
+  }
+
+  // Posts a message from shard `src` to shard `dst`. Legal from `src`'s
+  // worker during a window, or from the coordinator between windows.
+  // Scheduled messages (immediate=false) become events at `msg_at` on the
+  // destination; the conservative contract requires msg_at to be at or
+  // beyond the current window horizon (violations are clamped to the
+  // destination clock and counted in stats().late_messages).
+  void post(std::uint32_t src, std::uint32_t dst, SimTime msg_at,
+            InlineCallable action, bool immediate = false);
+
+  // Runs every shard to `deadline` (inclusive, matching Simulator::run_until)
+  // and leaves every shard clock at `deadline`. With one shard this forwards
+  // directly to Simulator::run_until.
+  void run_until(SimTime deadline);
+  void run_for(SimDuration duration) {
+    run_until(control().now() + duration);
+  }
+
+  // Hook run per shard, on that shard's worker, after the shard drains each
+  // window and before the barrier — the migration-scan point. Receives the
+  // shard id and the window horizon; horizons are non-decreasing across
+  // windows (see run_until).
+  using WindowHook = std::function<void(std::uint32_t, SimTime)>;
+  void set_window_hook(WindowHook hook) {
+    assert(!running_);
+    window_hook_ = std::move(hook);
+  }
+
+  [[nodiscard]] const ShardedSimulatorStats& stats() const { return stats_; }
+  [[nodiscard]] bool running() const { return running_; }
+
+ private:
+  [[nodiscard]] ShardMailbox& mailbox(std::uint32_t src, std::uint32_t dst) {
+    return *mailboxes_[src * shards_.size() + dst];
+  }
+  void run_window_on(std::uint32_t shard_index);
+  void start_workers();
+  void drain_mailboxes(SimTime horizon);
+  void worker_main(std::uint32_t shard_index);
+
+  std::vector<std::unique_ptr<ShardEngine>> shards_;
+  std::vector<std::unique_ptr<ShardMailbox>> mailboxes_;  // K×K, src-major
+  SimDuration lookahead_;
+  WindowHook window_hook_;
+  ShardedSimulatorStats stats_;
+  bool running_{false};
+
+  // Worker-pool handshake. Workers cover shards 1..K-1; the coordinator
+  // (the thread calling run_until) runs shard 0's window inline.
+  std::vector<std::thread> workers_;
+  std::mutex mutex_;
+  std::condition_variable work_cv_;
+  std::condition_variable done_cv_;
+  std::uint64_t work_epoch_{0};
+  std::uint32_t outstanding_{0};
+  SimTime window_horizon_{};
+  bool quit_{false};
+
+  // Merge scratch (coordinator-only), reused across windows.
+  std::vector<ShardMessage> merge_scratch_;
+};
+
+}  // namespace peerhood::sim

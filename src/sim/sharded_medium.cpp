@@ -1,0 +1,206 @@
+#include "sim/sharded_medium.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace peerhood::sim {
+
+ShardedMedium::ShardedMedium(ShardedSimulator& core, Config config,
+                             LinkQualityModel quality_model)
+    : core_{core},
+      config_{config},
+      owned_mobiles_(core.shard_count()),
+      counters_(core.shard_count()) {
+  assert(config_.world_max_x > config_.world_min_x);
+  const std::uint32_t k = core_.shard_count();
+  replicas_.reserve(k);
+  for (std::uint32_t i = 0; i < k; ++i) {
+    // Replica 0 is built first, on the control simulator: it forks its
+    // noise stream from the root RNG at exactly the point a single-shard
+    // setup would, keeping shards=1 runs bit-identical to a plain
+    // Simulator + RadioMedium pair.
+    replicas_.push_back(
+        std::make_unique<RadioMedium>(core_.shard(i), quality_model));
+    const std::uint32_t shard = i;
+    replicas_.back()->set_remote_router(
+        [this, shard](MacAddress from, MacAddress to, Technology tech,
+                      SimTime deliver_at, const RadioMedium::FramePtr& frame) {
+          const std::uint32_t owner = owner_of(to);
+          if (owner == shard) return false;  // local after all
+          ++counters_[shard].remote_frames;
+          RadioMedium* target = replicas_[owner].get();
+          core_.post(shard, owner, deliver_at,
+                     [target, from, to, tech, frame] {
+                       target->deliver_frame(from, to, tech, frame);
+                     });
+          return true;
+        });
+  }
+  core_.set_lookahead(replicas_[0]->min_per_hop_latency());
+  core_.set_window_hook([this](std::uint32_t shard, SimTime horizon) {
+    migration_scan(shard, horizon);
+  });
+}
+
+ShardedMedium::~ShardedMedium() {
+  // The replicas' routers and the core's window hook capture `this`; drop
+  // them before members go away in case the core outlives us.
+  core_.set_window_hook(nullptr);
+  for (auto& replica : replicas_) replica->set_remote_router(nullptr);
+}
+
+void ShardedMedium::configure(const TechnologyParams& params) {
+  for (auto& replica : replicas_) replica->configure(params);
+  // The binding conservative lookahead: no frame crosses shards in less
+  // simulated time than the fastest technology's per-hop latency.
+  core_.set_lookahead(replicas_[0]->min_per_hop_latency());
+}
+
+std::uint32_t ShardedMedium::stripe_of(double x) const {
+  const double span = config_.world_max_x - config_.world_min_x;
+  const double rel = (x - config_.world_min_x) / span;
+  const auto k = static_cast<std::int64_t>(core_.shard_count());
+  const auto raw = static_cast<std::int64_t>(rel * static_cast<double>(k));
+  return static_cast<std::uint32_t>(std::clamp<std::int64_t>(raw, 0, k - 1));
+}
+
+std::uint32_t ShardedMedium::owner_of(MacAddress mac) const {
+  const auto it = owners_.find(mac.as_u64());
+  assert(it != owners_.end());
+  return it->second.owner;
+}
+
+void ShardedMedium::register_endpoint(
+    MacAddress mac, Technology tech,
+    std::shared_ptr<const MobilityModel> mobility,
+    RadioMedium::FrameHandler handler) {
+  assert(!core_.running());
+  auto [it, inserted] = owners_.try_emplace(mac.as_u64());
+  Owned& rec = it->second;
+  if (inserted) {
+    rec.mobility = mobility;
+    rec.is_static = mobility->is_static();
+    rec.owner =
+        stripe_of(mobility->position_at(core_.control().now()).x);
+    if (!rec.is_static) owned_mobiles_[rec.owner].push_back(mac);
+  }
+  ++rec.tech_registrations;
+
+  // The real handler is pinned in a shared_ptr so every replica's delivery
+  // stub can reference one copy; only the owning replica ever invokes it.
+  auto pinned = std::make_shared<const RadioMedium::FrameHandler>(
+      std::move(handler));
+  for (std::uint32_t shard = 0; shard < core_.shard_count(); ++shard) {
+    replicas_[shard]->register_endpoint(
+        mac, tech, clone_or_share(mobility),
+        [this, shard, mac, tech, pinned](MacAddress from,
+                                         const Bytes& frame) {
+          const std::uint32_t owner = owner_of(mac);
+          if (owner == shard) {
+            if (*pinned) (*pinned)(from, frame);
+            return;
+          }
+          // The endpoint migrated while this frame was in flight: forward
+          // to the new owner's replica. Bounded-late by one window (the
+          // core clamps the timestamp to the destination clock), counted,
+          // exactly-once — the stub on the new owner delivers for real.
+          ++counters_[shard].forwarded_frames;
+          RadioMedium* target = replicas_[owner].get();
+          auto copy = std::make_shared<const Bytes>(frame);
+          core_.post(shard, owner, core_.shard(shard).now(),
+                     [target, from, mac, tech, copy] {
+                       target->deliver_frame(from, mac, tech, copy);
+                     });
+        });
+  }
+}
+
+void ShardedMedium::unregister_endpoint(MacAddress mac, Technology tech) {
+  assert(!core_.running());
+  for (auto& replica : replicas_) replica->unregister_endpoint(mac, tech);
+  const auto it = owners_.find(mac.as_u64());
+  if (it == owners_.end()) return;
+  if (--it->second.tech_registrations == 0) {
+    auto& owned = owned_mobiles_[it->second.owner];
+    owned.erase(std::remove(owned.begin(), owned.end(), mac), owned.end());
+    owners_.erase(it);
+  }
+}
+
+void ShardedMedium::set_discoverable(MacAddress mac, Technology tech,
+                                     bool discoverable) {
+  for (auto& replica : replicas_) {
+    replica->set_discoverable(mac, tech, discoverable);
+  }
+}
+
+void ShardedMedium::set_inquiring(MacAddress mac, Technology tech,
+                                  bool inquiring) {
+  for (auto& replica : replicas_) replica->set_inquiring(mac, tech, inquiring);
+}
+
+void ShardedMedium::migration_scan(std::uint32_t shard, SimTime horizon) {
+  const double span = config_.world_max_x - config_.world_min_x;
+  const double stripe_w = span / core_.shard_count();
+  for (MacAddress mac : owned_mobiles_[shard]) {
+    const Owned& rec = owners_.find(mac.as_u64())->second;
+    const double x = rec.mobility->position_at(horizon).x;
+    // Hysteresis: stay put until the endpoint is margin_m past its own
+    // stripe — a walk hugging the boundary doesn't thrash ownership.
+    const double lo =
+        config_.world_min_x + stripe_w * shard - config_.margin_m;
+    const double hi =
+        config_.world_min_x + stripe_w * (shard + 1) + config_.margin_m;
+    if (x >= lo && x <= hi) continue;
+    const std::uint32_t target = stripe_of(x);
+    if (target == shard) continue;
+    core_.post(
+        shard, target, horizon,
+        [this, mac, shard, target, horizon] {
+          apply_migration(mac, shard, target, horizon);
+        },
+        /*immediate=*/true);
+  }
+}
+
+void ShardedMedium::apply_migration(MacAddress mac, std::uint32_t from_shard,
+                                    std::uint32_t to_shard, SimTime at) {
+  const auto it = owners_.find(mac.as_u64());
+  if (it == owners_.end() || it->second.owner != from_shard) return;
+  it->second.owner = to_shard;
+  auto& old_list = owned_mobiles_[from_shard];
+  old_list.erase(std::remove(old_list.begin(), old_list.end(), mac),
+                 old_list.end());
+  owned_mobiles_[to_shard].push_back(mac);
+  // The in-order guarantee spans the migration: the endpoint's outbound
+  // last-delivery times follow it, so its future sends (from the new
+  // owner's replica) keep bumping past frames it already has in flight.
+  replicas_[to_shard]->import_last_delivery(
+      replicas_[from_shard]->export_last_delivery(mac));
+  ++migrations_;
+  if (migration_handler_) migration_handler_(mac, from_shard, to_shard, at);
+}
+
+TrafficStats ShardedMedium::merged_stats() const {
+  TrafficStats total;
+  for (const auto& replica : replicas_) total += replica->stats();
+  return total;
+}
+
+QualityStats ShardedMedium::merged_quality_stats() const {
+  QualityStats total;
+  for (const auto& replica : replicas_) total += replica->quality_stats();
+  return total;
+}
+
+ShardedMediumStats ShardedMedium::stats() const {
+  ShardedMediumStats total;
+  total.migrations = migrations_;
+  for (const ShardCounters& c : counters_) {
+    total.remote_frames += c.remote_frames;
+    total.forwarded_frames += c.forwarded_frames;
+  }
+  return total;
+}
+
+}  // namespace peerhood::sim

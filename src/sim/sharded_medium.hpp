@@ -1,0 +1,169 @@
+// Region-partitioned radio medium for the sharded simulation core.
+//
+// A ShardedMedium owns one full RadioMedium replica per shard. Every
+// endpoint is registered on every replica (with a private clone of any
+// stateful mobility model — see MobilityModel::clone), so geometry, range
+// and quality queries are answered locally on any shard, exactly, with no
+// cross-shard reads during a window. What is partitioned is *ownership*:
+// the world is split into K vertical stripes of [world_min_x, world_max_x],
+// and the shard whose stripe contains an endpoint owns it — application
+// events for the endpoint run on the owner's simulator, and frames
+// addressed to it are delivered (handler invoked) on the owner's replica.
+//
+// Cross-shard frames ride the conservative core: RadioMedium's remote
+// router intercepts a send whose receiver lives on another shard *after*
+// the full send-side pipeline (fault judgement, serialization delay,
+// in-order bump) has produced the final delivery time, and posts a
+// time-stamped message that invokes deliver_frame on the owning replica at
+// exactly that time. Send-side state therefore evolves identically whether
+// the receiver is local or remote, and the merged per-replica TrafficStats
+// of a sharded run equal the stats of a single-shard run of the same
+// workload.
+//
+// Endpoints migrate when mobility carries them across a stripe boundary
+// (plus a hysteresis margin, so boundary-hugging walks don't thrash):
+// each shard scans its owned mobile endpoints at the end of every window
+// (the core's window hook, positions sampled at the window horizon) and
+// posts barrier-immediate migration messages. The barrier applies them
+// deterministically: ownership flips, the endpoint's in-order
+// (last-delivery) state moves to the new owner's replica, and the
+// registered migration handler fires so the application can re-arm
+// per-endpoint timers on the new shard. Frames already in flight toward
+// the old owner are forwarded by the delivery stub when they land —
+// bounded-late by one window, exactly-once, and counted.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "common/mac_address.hpp"
+#include "sim/medium.hpp"
+#include "sim/shard.hpp"
+
+namespace peerhood::sim {
+
+struct ShardedMediumStats {
+  std::uint64_t migrations{0};       // ownership transfers applied
+  std::uint64_t remote_frames{0};    // frames routed cross-shard at send
+  std::uint64_t forwarded_frames{0}; // landed on an ex-owner, re-forwarded
+};
+
+struct ShardedMediumConfig {
+  // World extent partitioned into shard_count() equal vertical stripes.
+  double world_min_x{0.0};
+  double world_max_x{1000.0};
+  // An endpoint migrates only once it is `margin_m` past its owner's
+  // stripe boundary; within the margin it stays put.
+  double margin_m{1.0};
+};
+
+class ShardedMedium {
+ public:
+  using Config = ShardedMediumConfig;
+
+  explicit ShardedMedium(ShardedSimulator& core, Config config = {},
+                         LinkQualityModel quality_model = {});
+  ~ShardedMedium();
+
+  ShardedMedium(const ShardedMedium&) = delete;
+  ShardedMedium& operator=(const ShardedMedium&) = delete;
+
+  // Applies to every replica and tightens the core's lookahead to the
+  // minimum per-hop frame latency across the configured technologies.
+  void configure(const TechnologyParams& params);
+
+  // --- Endpoint registry (coordinator-only: between runs) -------------------
+  // Registers on every replica; the endpoint's initial owner is the stripe
+  // containing its position at the current (control-shard) time. `handler`
+  // is invoked only on the owning replica.
+  void register_endpoint(MacAddress mac, Technology tech,
+                         std::shared_ptr<const MobilityModel> mobility,
+                         RadioMedium::FrameHandler handler);
+  void unregister_endpoint(MacAddress mac, Technology tech);
+
+  void set_discoverable(MacAddress mac, Technology tech, bool discoverable);
+  void set_inquiring(MacAddress mac, Technology tech, bool inquiring);
+
+  // --- Ownership -------------------------------------------------------------
+  [[nodiscard]] std::uint32_t owner_of(MacAddress mac) const;
+  [[nodiscard]] std::uint32_t stripe_of(double x) const;
+  [[nodiscard]] RadioMedium& replica(std::uint32_t shard) {
+    return *replicas_[shard];
+  }
+  [[nodiscard]] RadioMedium& owner_replica(MacAddress mac) {
+    return *replicas_[owner_of(mac)];
+  }
+  [[nodiscard]] Simulator& owner_sim(MacAddress mac) {
+    return core_.shard(owner_of(mac));
+  }
+  // Mobile endpoints currently owned by `shard` (the migration scan's
+  // working set), in deterministic order.
+  [[nodiscard]] std::size_t owned_mobile_count(std::uint32_t shard) const {
+    return owned_mobiles_[shard].size();
+  }
+
+  // Fired at the barrier, after ownership has flipped and in-order state
+  // has moved — the application re-arms per-endpoint work on `to_shard`
+  // here. Runs on the coordinator thread between windows. Schedule
+  // re-armed work relative to `at` (the migration time): the new owner's
+  // clock may trail it arbitrarily if the shard has been idle, and
+  // anchoring timers to that stale clock would schedule them into the
+  // global past.
+  using MigrationHandler = std::function<void(
+      MacAddress mac, std::uint32_t from_shard, std::uint32_t to_shard,
+      SimTime at)>;
+  void set_migration_handler(MigrationHandler handler) {
+    migration_handler_ = std::move(handler);
+  }
+
+  // --- Transport -------------------------------------------------------------
+  // Sends from `from`'s owner replica (the shard where the sender's
+  // application events run). Remote receivers are routed automatically.
+  void send_frame(MacAddress from, MacAddress to, Technology tech,
+                  Bytes frame) {
+    owner_replica(from).send_frame(from, to, tech, std::move(frame));
+  }
+
+  // --- Merged accounting -----------------------------------------------------
+  [[nodiscard]] TrafficStats merged_stats() const;
+  [[nodiscard]] QualityStats merged_quality_stats() const;
+  [[nodiscard]] ShardedMediumStats stats() const;
+
+  [[nodiscard]] ShardedSimulator& core() { return core_; }
+
+ private:
+  struct Owned {
+    std::uint32_t owner{0};
+    // The original model (replicas hold clones); sampled only by the
+    // owning shard's migration scan, so its lazy caches are single-writer.
+    std::shared_ptr<const MobilityModel> mobility;
+    bool is_static{false};
+    std::uint32_t tech_registrations{0};
+  };
+  // Counter slots are per-shard so worker threads never share a cache line
+  // or a counter; summed into ShardedMediumStats on read.
+  struct alignas(64) ShardCounters {
+    std::uint64_t remote_frames{0};
+    std::uint64_t forwarded_frames{0};
+  };
+
+  void migration_scan(std::uint32_t shard, SimTime horizon);
+  void apply_migration(MacAddress mac, std::uint32_t from_shard,
+                       std::uint32_t to_shard, SimTime at);
+
+  ShardedSimulator& core_;
+  Config config_;
+  std::vector<std::unique_ptr<RadioMedium>> replicas_;
+  // Written only at the barrier / between runs (coordinator); read freely
+  // during windows — the barrier handshake orders the accesses.
+  std::unordered_map<std::uint64_t, Owned> owners_;
+  std::vector<std::vector<MacAddress>> owned_mobiles_;  // per shard
+  std::vector<ShardCounters> counters_;                 // per shard
+  std::uint64_t migrations_{0};
+  MigrationHandler migration_handler_;
+};
+
+}  // namespace peerhood::sim

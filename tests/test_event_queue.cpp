@@ -190,14 +190,21 @@ TEST(EventQueue, RandomizedParityWithReferenceQueue) {
   int next_tag = 0;
   constexpr int kOps = 12'000;
   // Delay mix stressing every tier of the pooled queue: zero-delay bursts
-  // and small near-horizon delays (timing wheel), delays straddling the
-  // ~33 ms wheel window (far heap), and occasional *past* deadlines, which
-  // force the wheel-to-heap flush path.
+  // and small near-horizon delays (first wheel), delays straddling the
+  // ~33 ms frame boundary (second wheel, incl. keepalive/inquiry-scale
+  // timers), delays beyond the ~33.6 s second-wheel horizon (far heap), and
+  // occasional *past* deadlines, which force the wheel-to-heap flush path.
   const auto random_when = [&rng, &now] {
     const double roll = rng.next_double();
-    if (roll < 0.30) return now;
-    if (roll < 0.70) return now + microseconds(rng.uniform_int(0, 50));
-    if (roll < 0.90) return now + microseconds(rng.uniform_int(20'000, 60'000));
+    if (roll < 0.25) return now;
+    if (roll < 0.55) return now + microseconds(rng.uniform_int(0, 50));
+    if (roll < 0.70) return now + microseconds(rng.uniform_int(20'000, 60'000));
+    if (roll < 0.85) {
+      return now + microseconds(rng.uniform_int(60'000, 30'000'000));
+    }
+    if (roll < 0.92) {
+      return now + microseconds(rng.uniform_int(30'000'000, 80'000'000));
+    }
     return SimTime{} + microseconds(rng.uniform_int(
                            0, now.since_epoch.count() + 1));  // past or near 0
   };
@@ -308,6 +315,66 @@ TEST(EventQueue, NearAndFarEventsInterleave) {
   q.schedule(SimTime{} + milliseconds(2), [&] { order.push_back(2); });
   while (!q.empty()) q.run_next();
   EXPECT_EQ(order, (std::vector<int>{1, 2, 50, 100}));
+}
+
+// Timers across all three tiers — first wheel (< 33 ms), second wheel
+// (keepalive/inquiry scale, < 33.6 s) and the far heap beyond it — fire in
+// exact time order, including entries that cascade through both wheels.
+TEST(EventQueue, SecondWheelTimersFireInOrder) {
+  EventQueue q;
+  std::vector<int> order;
+  q.schedule(SimTime{} + seconds(60.0), [&] { order.push_back(7); });  // heap
+  q.schedule(SimTime{} + seconds(10.0), [&] { order.push_back(5); });
+  q.schedule(SimTime{} + milliseconds(500), [&] { order.push_back(3); });
+  q.schedule(SimTime{} + milliseconds(1), [&] { order.push_back(1); });
+  q.schedule(SimTime{} + milliseconds(40), [&] { order.push_back(2); });
+  q.schedule(SimTime{} + seconds(30.0), [&] { order.push_back(6); });
+  q.schedule(SimTime{} + milliseconds(900), [&] { order.push_back(4); });
+  while (!q.empty()) q.run_next();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3, 4, 5, 6, 7}));
+}
+
+// A far-scheduled timer and a near-scheduled event sharing the exact same
+// timestamp must fire in insertion order: the cascade path inserts by
+// sequence rather than appending.
+TEST(EventQueue, CascadedTimerKeepsInsertionOrderOnTimestampTie) {
+  EventQueue q;
+  std::vector<int> order;
+  const SimTime tie = SimTime{} + seconds(5.0);
+  q.schedule(tie, [&] { order.push_back(1); });  // second wheel (far)
+  q.schedule(SimTime{} + seconds(4.999), [&, tie] {
+    // Scheduled near-horizon, directly into the first wheel, after the far
+    // timer has already been pending for ~5 s.
+    q.schedule(tie, [&] { order.push_back(2); });
+  });
+  while (!q.empty()) q.run_next();
+  EXPECT_EQ(order, (std::vector<int>{1, 2}));
+}
+
+// Cancelling second-wheel timers defers slot reclamation to the frame
+// cascade (or queue reset); every event must still be accounted for exactly
+// once across heavy mixed-horizon churn.
+TEST(EventQueue, SecondWheelCancelAndRecycle) {
+  EventQueue q;
+  Rng rng{7};
+  int fired = 0;
+  std::vector<EventId> ids;
+  for (int round = 0; round < 2000; ++round) {
+    ids.push_back(q.schedule(
+        SimTime{} + microseconds(rng.uniform_int(0, 30'000'000)),
+        [&] { ++fired; }));
+    if (round % 3 == 0) {
+      q.cancel(ids[static_cast<std::size_t>(rng.uniform_int(
+          0, static_cast<std::int64_t>(ids.size()) - 1))]);
+    }
+  }
+  const auto pending = static_cast<int>(q.size());
+  while (!q.empty()) q.run_next();
+  EXPECT_EQ(fired, pending);
+  // The arena must be fully reclaimed: a fresh wave reuses recycled slots.
+  const EventId again = q.schedule(SimTime{} + seconds(1.0), [] {});
+  EXPECT_NE(again, kInvalidEvent);
+  q.cancel(again);
 }
 
 // Events scheduled from inside a firing callback keep FIFO order among

@@ -1,0 +1,96 @@
+// Satellite of the sharded-core PR: scenario results are a function of
+// (seed) alone, never of the shard count. The protocol stack runs on the
+// control shard, whose RNG stream and event order equal a plain
+// Simulator(seed), so every ScenarioMetrics field — including the
+// exactly-once counters derived from each payload's embedded message
+// counter (the per-session payload trace digest) — must be identical
+// between shards=1 and any sharded run of the same spec.
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <tuple>
+
+#include "node/testbed.hpp"
+#include "scenario/scenario.hpp"
+
+namespace peerhood::scenario {
+namespace {
+
+// Every field of SessionMetrics, as a comparable tuple. received/
+// dup_or_reorder/gaps come from the per-payload message counters, so
+// equality here means the payload streams matched message-for-message.
+auto session_tuple(const SessionMetrics& s) {
+  return std::tie(s.connected, s.sent, s.received, s.handovers,
+                  s.predictions, s.predictive_handovers, s.reconnections,
+                  s.restarts, s.dup_or_reorder, s.gaps, s.outage_episodes,
+                  s.outage_s, s.handover_latency_sum_s,
+                  s.handover_latency_count);
+}
+
+ScenarioMetrics run_corridor(std::uint64_t seed, std::uint32_t shards) {
+  ScenarioSpec spec = corridor_walk(seed, /*predictive=*/true);
+  spec.shards = shards;
+  ScenarioRunner runner{std::move(spec)};
+  EXPECT_TRUE(runner.setup().ok());
+  if (shards > 1) {
+    EXPECT_EQ(runner.testbed().core().shard_count(), shards);
+  }
+  runner.run();
+  if (shards > 1) {
+    // The windowed path actually ran; parity is not a passthrough artifact.
+    EXPECT_GT(runner.testbed().core().stats().windows, 0u);
+  }
+  return runner.metrics();
+}
+
+void expect_metrics_equal(const ScenarioMetrics& base,
+                          const ScenarioMetrics& sharded,
+                          std::uint32_t shards) {
+  ASSERT_EQ(base.sessions.size(), sharded.sessions.size());
+  for (std::size_t i = 0; i < base.sessions.size(); ++i) {
+    EXPECT_EQ(session_tuple(base.sessions[i]),
+              session_tuple(sharded.sessions[i]))
+        << "session " << i << " shards=" << shards;
+  }
+  EXPECT_EQ(base.medium_frames, sharded.medium_frames) << "shards=" << shards;
+  EXPECT_EQ(base.medium_frame_bytes, sharded.medium_frame_bytes);
+  EXPECT_EQ(base.quality_observer_evals, sharded.quality_observer_evals);
+  EXPECT_EQ(base.quality_events, sharded.quality_events);
+  EXPECT_EQ(base.corrupt_frames_dropped, sharded.corrupt_frames_dropped);
+  EXPECT_EQ(base.restart_resumes, sharded.restart_resumes);
+}
+
+TEST(ShardScenarioParity, CorridorMetricsMatchAcrossShardCounts) {
+  for (const std::uint64_t seed : {3u, 17u, 40u}) {
+    const ScenarioMetrics base = run_corridor(seed, 1);
+    ASSERT_FALSE(base.sessions.empty());
+    EXPECT_GT(base.total_sent(), 0u);
+    for (const std::uint32_t shards : {2u, 4u, 8u}) {
+      const ScenarioMetrics sharded = run_corridor(seed, shards);
+      expect_metrics_equal(base, sharded, shards);
+    }
+  }
+}
+
+TEST(ShardScenarioParity, EnvKnobSelectsShardCount) {
+  // shards=0 defers to PEERHOOD_SHARDS — the suite-wide switch that lets CI
+  // run every testbed-based test on the windowed core.
+  ::setenv("PEERHOOD_SHARDS", "4", 1);
+  {
+    node::Testbed testbed{1};
+    EXPECT_EQ(testbed.core().shard_count(), 4u);
+  }
+  ::setenv("PEERHOOD_SHARDS", "not-a-number", 1);
+  {
+    node::Testbed testbed{1};
+    EXPECT_EQ(testbed.core().shard_count(), 1u);
+  }
+  ::unsetenv("PEERHOOD_SHARDS");
+  {
+    node::Testbed testbed{1};
+    EXPECT_EQ(testbed.core().shard_count(), 1u);
+  }
+}
+
+}  // namespace
+}  // namespace peerhood::scenario

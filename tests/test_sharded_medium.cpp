@@ -1,0 +1,376 @@
+// ShardedMedium: single-vs-sharded parity of frame delivery and merged
+// statistics, and endpoint shard migration (exactly-once, in-order,
+// deterministic replay).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <tuple>
+#include <vector>
+
+#include "common/bytes.hpp"
+#include "common/mac_address.hpp"
+#include "common/sim_time.hpp"
+#include "sim/medium.hpp"
+#include "sim/mobility.hpp"
+#include "sim/shard.hpp"
+#include "sim/sharded_medium.hpp"
+#include "sim/simulator.hpp"
+
+namespace peerhood::sim {
+namespace {
+
+using Technology = peerhood::Technology;
+
+struct Delivery {
+  std::int64_t at_us;
+  std::uint64_t to;
+  std::uint64_t from;
+  std::uint32_t seq;
+
+  auto operator<=>(const Delivery&) const = default;
+};
+
+Bytes seq_payload(std::uint32_t seq, std::size_t size = 32) {
+  Bytes payload(size, 0);
+  payload[0] = static_cast<std::uint8_t>(seq >> 24);
+  payload[1] = static_cast<std::uint8_t>(seq >> 16);
+  payload[2] = static_cast<std::uint8_t>(seq >> 8);
+  payload[3] = static_cast<std::uint8_t>(seq);
+  return payload;
+}
+
+std::uint32_t payload_seq(const Bytes& frame) {
+  return (static_cast<std::uint32_t>(frame[0]) << 24) |
+         (static_cast<std::uint32_t>(frame[1]) << 16) |
+         (static_cast<std::uint32_t>(frame[2]) << 8) | frame[3];
+}
+
+TechnologyParams wide_bluetooth() {
+  TechnologyParams p = bluetooth_params();
+  p.range_m = 30.0;  // adjacent endpoints (25 m apart) are in range
+  return p;
+}
+
+// 16 static endpoints striped across a 400 m world; a scripted send
+// schedule mixes in-range frames (some crossing stripe boundaries) with
+// out-of-range sends that must drop. Returns the sorted delivery trace.
+struct ParityWorkload {
+  static constexpr int kEndpoints = 16;
+  static constexpr Technology kTech = Technology::kBluetooth;
+
+  [[nodiscard]] static Vec2 position(int i) {
+    return {12.5 + 25.0 * i, 0.0};
+  }
+  [[nodiscard]] static MacAddress mac(int i) {
+    return MacAddress::from_index(static_cast<std::uint64_t>(i) + 1);
+  }
+
+  // (when, from, to, seq): every endpoint streams to its right neighbour
+  // (in range; indices 3->4, 7->8, 11->12 cross stripes with 4 shards) and
+  // every fourth frame also goes two hops right (50 m — dropped at send).
+  [[nodiscard]] static std::vector<std::tuple<SimTime, int, int, std::uint32_t>>
+  sends() {
+    std::vector<std::tuple<SimTime, int, int, std::uint32_t>> out;
+    std::uint32_t seq = 0;
+    for (int round = 0; round < 40; ++round) {
+      const SimTime at = SimTime{} + milliseconds(10 * round);
+      for (int i = 0; i < kEndpoints - 1; ++i) {
+        out.emplace_back(at, i, i + 1, seq++);
+        if ((round + i) % 4 == 0 && i + 2 < kEndpoints) {
+          out.emplace_back(at, i, i + 2, seq++);
+        }
+      }
+    }
+    return out;
+  }
+};
+
+std::vector<Delivery> run_single(TrafficStats& stats_out) {
+  Simulator sim{1234};
+  RadioMedium medium{sim};
+  medium.configure(wide_bluetooth());
+  auto trace = std::make_shared<std::vector<Delivery>>();
+  for (int i = 0; i < ParityWorkload::kEndpoints; ++i) {
+    const MacAddress mac = ParityWorkload::mac(i);
+    medium.register_endpoint(
+        mac, ParityWorkload::kTech,
+        std::make_shared<StaticPosition>(ParityWorkload::position(i)),
+        [&sim, trace, mac](MacAddress from, const Bytes& frame) {
+          trace->push_back({(sim.now() - SimTime{}).count(), mac.as_u64(),
+                            from.as_u64(), payload_seq(frame)});
+        });
+  }
+  for (const auto& [at, from, to, seq] : ParityWorkload::sends()) {
+    const MacAddress f = ParityWorkload::mac(from);
+    const MacAddress t = ParityWorkload::mac(to);
+    sim.schedule_at(at, [&medium, f, t, seq] {
+      medium.send_frame(f, t, ParityWorkload::kTech, seq_payload(seq));
+    });
+  }
+  sim.run_until(SimTime{} + seconds(2.0));
+  std::sort(trace->begin(), trace->end());
+  stats_out = medium.stats();
+  return *trace;
+}
+
+std::vector<Delivery> run_sharded(std::uint32_t shards,
+                                  TrafficStats& stats_out,
+                                  ShardedMediumStats* medium_stats = nullptr) {
+  ShardedSimulator core{1234, shards};
+  ShardedMedium medium{core, {.world_min_x = 0.0, .world_max_x = 400.0}};
+  medium.configure(wide_bluetooth());
+  // Per-shard delivery traces: a static endpoint's handler always runs on
+  // its (fixed) owner shard, so each vector has exactly one writer.
+  auto traces =
+      std::make_shared<std::vector<std::vector<Delivery>>>(shards);
+  for (int i = 0; i < ParityWorkload::kEndpoints; ++i) {
+    const MacAddress mac = ParityWorkload::mac(i);
+    medium.register_endpoint(
+        mac, ParityWorkload::kTech,
+        std::make_shared<StaticPosition>(ParityWorkload::position(i)),
+        [&core, &medium, traces, mac](MacAddress from, const Bytes& frame) {
+          const std::uint32_t shard = medium.owner_of(mac);
+          (*traces)[shard].push_back(
+              {(core.shard(shard).now() - SimTime{}).count(), mac.as_u64(),
+               from.as_u64(), payload_seq(frame)});
+        });
+  }
+  for (const auto& [at, from, to, seq] : ParityWorkload::sends()) {
+    const MacAddress f = ParityWorkload::mac(from);
+    const MacAddress t = ParityWorkload::mac(to);
+    medium.owner_sim(f).schedule_at(at, [&medium, f, t, seq] {
+      medium.send_frame(f, t, ParityWorkload::kTech, seq_payload(seq));
+    });
+  }
+  core.run_until(SimTime{} + seconds(2.0));
+  std::vector<Delivery> merged;
+  for (const auto& t : *traces) {
+    merged.insert(merged.end(), t.begin(), t.end());
+  }
+  std::sort(merged.begin(), merged.end());
+  stats_out = medium.merged_stats();
+  if (medium_stats != nullptr) *medium_stats = medium.stats();
+  return merged;
+}
+
+TEST(ShardedMedium, FrameDeliveryAndStatsMatchSingleShard) {
+  TrafficStats single_stats;
+  const std::vector<Delivery> single = run_single(single_stats);
+  ASSERT_FALSE(single.empty());
+  EXPECT_GT(single_stats.drops, 0u);  // the 50 m sends really drop
+
+  for (const std::uint32_t shards : {1u, 2u, 4u, 8u}) {
+    TrafficStats merged_stats;
+    ShardedMediumStats medium_stats;
+    const std::vector<Delivery> merged =
+        run_sharded(shards, merged_stats, &medium_stats);
+    EXPECT_EQ(single, merged) << "shards=" << shards;
+    // The satellite contract: per-shard TrafficStats counters merge to
+    // exactly the single-shard totals.
+    EXPECT_EQ(single_stats.frames, merged_stats.frames);
+    EXPECT_EQ(single_stats.frame_bytes, merged_stats.frame_bytes);
+    EXPECT_EQ(single_stats.drops, merged_stats.drops);
+    EXPECT_EQ(single_stats.inquiries, merged_stats.inquiries);
+    if (shards > 1) {
+      EXPECT_GT(medium_stats.remote_frames, 0u) << "shards=" << shards;
+    }
+    EXPECT_EQ(medium_stats.migrations, 0u);  // everything is static
+  }
+}
+
+TEST(ShardedMedium, QualityStatsMergeToSingleShardTotals) {
+  // One observed link per stripe, every stripe ticking at the same
+  // instants: each replica's clock advances at exactly the times the
+  // single simulator's does, so the merged QualityStats must be equal.
+  constexpr int kStripes = 4;
+  const auto mobile_mac = [](int s) {
+    return MacAddress::from_index(static_cast<std::uint64_t>(s) * 2 + 1);
+  };
+  const auto static_mac = [](int s) {
+    return MacAddress::from_index(static_cast<std::uint64_t>(s) * 2 + 2);
+  };
+  const auto build = [&](RadioMedium& medium, Simulator& sim, int stripe) {
+    medium.register_endpoint(
+        mobile_mac(stripe), Technology::kBluetooth,
+        std::make_shared<LinearMotion>(Vec2{100.0 * stripe + 40.0, 0.0},
+                                       Vec2{0.5, 0.0}),
+        {});
+    medium.register_endpoint(
+        static_mac(stripe), Technology::kBluetooth,
+        std::make_shared<StaticPosition>(Vec2{100.0 * stripe + 44.0, 0.0}),
+        {});
+    (void)medium.observe_quality(mobile_mac(stripe), static_mac(stripe),
+                                 Technology::kBluetooth, {},
+                                 [](const LinkQualityEvent&) {});
+    for (int t = 1; t <= 30; ++t) {
+      sim.schedule_at(SimTime{} + milliseconds(100 * t), [] {});
+    }
+  };
+
+  QualityStats single;
+  {
+    Simulator sim{99};
+    RadioMedium medium{sim};
+    for (int s = 0; s < kStripes; ++s) build(medium, sim, s);
+    sim.run_until(SimTime{} + seconds(3.5));
+    single = medium.quality_stats();
+  }
+  ASSERT_GT(single.observer_evals, 0u);
+
+  ShardedSimulator core{99, kStripes};
+  ShardedMedium medium{core, {.world_min_x = 0.0, .world_max_x = 400.0}};
+  for (int s = 0; s < kStripes; ++s) {
+    build(medium.replica(static_cast<std::uint32_t>(s)),
+          core.shard(static_cast<std::uint32_t>(s)), s);
+  }
+  core.run_until(SimTime{} + seconds(3.5));
+  const QualityStats merged = medium.merged_quality_stats();
+  EXPECT_EQ(single.evaluations, merged.evaluations);
+  EXPECT_EQ(single.cache_hits, merged.cache_hits);
+  EXPECT_EQ(single.observer_evals, merged.observer_evals);
+  EXPECT_EQ(single.events_emitted, merged.events_emitted);
+}
+
+// Harness for the migration tests: a mobile endpoint exchanging steady
+// bidirectional traffic with a static peer while it wanders across the
+// stripe boundary. The mobile's send loop re-arms itself on the new owner
+// via the migration handler.
+struct MigrationRun {
+  std::vector<Delivery> to_mover;    // received by the mover
+  std::vector<Delivery> from_mover;  // received by the static peer
+  ShardedMediumStats stats;
+  std::uint32_t final_owner{0};
+};
+
+MigrationRun run_migration(std::shared_ptr<const MobilityModel> mover_path,
+                           SimDuration duration) {
+  constexpr Technology kTech = Technology::kBluetooth;
+  const MacAddress peer = MacAddress::from_index(1);   // static, x=18
+  const MacAddress mover = MacAddress::from_index(2);  // crosses x=20
+
+  ShardedSimulator core{77, 2};
+  ShardedMedium medium{core, {.world_min_x = 0.0, .world_max_x = 40.0}};
+
+  MigrationRun result;
+  // Two per-shard sinks for the mover's inbound frames (its handler runs
+  // on whichever shard owns it at delivery time); merged afterwards.
+  auto mover_rx = std::make_shared<std::vector<std::vector<Delivery>>>(2);
+  auto peer_rx = std::make_shared<std::vector<Delivery>>();
+
+  medium.register_endpoint(
+      peer, kTech, std::make_shared<StaticPosition>(Vec2{18.0, 0.0}),
+      [&core, peer_rx, peer](MacAddress from, const Bytes& frame) {
+        peer_rx->push_back({(core.shard(0).now() - SimTime{}).count(),
+                            peer.as_u64(), from.as_u64(),
+                            payload_seq(frame)});
+      });
+  medium.register_endpoint(
+      mover, kTech, mover_path,
+      [&core, &medium, mover_rx, mover](MacAddress from,
+                                        const Bytes& frame) {
+        const std::uint32_t shard = medium.owner_of(mover);
+        (*mover_rx)[shard].push_back(
+            {(core.shard(shard).now() - SimTime{}).count(), mover.as_u64(),
+             from.as_u64(), payload_seq(frame)});
+      });
+
+  // Static peer streams to the mover every 10 ms from shard 0.
+  auto peer_seq = std::make_shared<std::uint32_t>(0);
+  auto peer_tick = std::make_shared<std::function<void()>>();
+  *peer_tick = [&core, &medium, peer, mover, peer_seq, peer_tick] {
+    medium.send_frame(peer, mover, kTech, seq_payload((*peer_seq)++));
+    core.shard(0).schedule_after(milliseconds(10),
+                                 [peer_tick] { (*peer_tick)(); });
+  };
+  core.shard(0).schedule_at(SimTime{} + milliseconds(1),
+                            [peer_tick] { (*peer_tick)(); });
+
+  // The mover streams back every 10 ms from whichever shard owns it. The
+  // chain self-terminates when ownership moves (the guard below) and the
+  // migration handler re-arms it on the new owner.
+  auto mover_seq = std::make_shared<std::uint32_t>(0);
+  auto arm = std::make_shared<std::function<void(std::uint32_t, SimTime)>>();
+  *arm = [&core, &medium, peer, mover, mover_seq, arm](std::uint32_t shard,
+                                                       SimTime at) {
+    core.shard(shard).schedule_at(at, [&core, &medium, peer, mover,
+                                       mover_seq, arm, shard] {
+      if (medium.owner_of(mover) != shard) return;  // migrated; chain died
+      medium.send_frame(mover, peer, Technology::kBluetooth,
+                        seq_payload((*mover_seq)++));
+      (*arm)(shard, core.shard(shard).now() + milliseconds(10));
+    });
+  };
+  medium.set_migration_handler(
+      [arm](MacAddress, std::uint32_t, std::uint32_t to, SimTime at) {
+        // Re-arm relative to the migration time: the new owner's clock may
+        // trail it if that shard has been idle.
+        (*arm)(to, at + milliseconds(10));
+      });
+  (*arm)(0, SimTime{} + milliseconds(1));
+
+  core.run_for(duration);
+
+  for (const auto& rx : *mover_rx) {
+    result.to_mover.insert(result.to_mover.end(), rx.begin(), rx.end());
+  }
+  std::sort(result.to_mover.begin(), result.to_mover.end());
+  result.from_mover = *peer_rx;
+  result.stats = medium.stats();
+  result.final_owner = medium.owner_of(mover);
+  return result;
+}
+
+void expect_exactly_once_in_order(const std::vector<Delivery>& trace) {
+  ASSERT_FALSE(trace.empty());
+  for (std::size_t i = 0; i < trace.size(); ++i) {
+    EXPECT_EQ(trace[i].seq, i) << "lost, duplicated or reordered at " << i;
+    if (i > 0) EXPECT_LE(trace[i - 1].at_us, trace[i].at_us);
+  }
+}
+
+TEST(ShardedMedium, MigrationKeepsDeliveryExactlyOnceAndInOrder) {
+  // 15 m -> 27 m at 0.2 m/s: crosses the 20 m boundary (plus the 1 m
+  // hysteresis margin) around t = 30 s, with traffic flowing throughout.
+  auto path = std::make_shared<LinearMotion>(Vec2{15.0, 0.0}, Vec2{0.2, 0.0});
+  const MigrationRun run = run_migration(path, seconds(60.0));
+
+  EXPECT_EQ(run.stats.migrations, 1u);
+  EXPECT_EQ(run.final_owner, 1u);
+  EXPECT_GT(run.stats.remote_frames, 0u);    // post-migration traffic
+  EXPECT_GT(run.stats.forwarded_frames, 0u); // in-flight at the flip
+  expect_exactly_once_in_order(run.to_mover);
+  expect_exactly_once_in_order(run.from_mover);
+}
+
+TEST(ShardedMedium, MigrationChurnIsDeterministicAcrossReplays) {
+  // A zig-zag path that re-crosses the boundary four times: ownership
+  // churns back and forth, and two replays must agree bit-for-bit on
+  // every delivery and every counter.
+  const auto make_path = [] {
+    return std::make_shared<WaypointPath>(std::vector<WaypointPath::Waypoint>{
+        {SimTime{}, {15.0, 0.0}},
+        {SimTime{} + seconds(10.0), {27.0, 0.0}},
+        {SimTime{} + seconds(20.0), {15.0, 0.0}},
+        {SimTime{} + seconds(30.0), {27.0, 0.0}},
+        {SimTime{} + seconds(40.0), {15.0, 0.0}},
+    });
+  };
+  const MigrationRun a = run_migration(make_path(), seconds(45.0));
+  const MigrationRun b = run_migration(make_path(), seconds(45.0));
+
+  EXPECT_GE(a.stats.migrations, 3u);
+  EXPECT_EQ(a.stats.migrations, b.stats.migrations);
+  EXPECT_EQ(a.stats.remote_frames, b.stats.remote_frames);
+  EXPECT_EQ(a.stats.forwarded_frames, b.stats.forwarded_frames);
+  EXPECT_EQ(a.final_owner, b.final_owner);
+  EXPECT_EQ(a.to_mover, b.to_mover);
+  EXPECT_EQ(a.from_mover, b.from_mover);
+  expect_exactly_once_in_order(a.to_mover);
+  expect_exactly_once_in_order(a.from_mover);
+}
+
+}  // namespace
+}  // namespace peerhood::sim
