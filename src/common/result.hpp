@@ -25,6 +25,8 @@ enum class ErrorCode {
   // Resume named a session the responder no longer holds in memory — the
   // daemon restarted. The client's cue to re-dial with kResumeRestart.
   kUnknownSession,
+  // listen() on an address that already has a listener (EADDRINUSE).
+  kAddressInUse,
 };
 
 [[nodiscard]] constexpr const char* to_string(ErrorCode code) {
@@ -41,6 +43,7 @@ enum class ErrorCode {
     case ErrorCode::kCancelled: return "cancelled";
     case ErrorCode::kInvalidArgument: return "invalid_argument";
     case ErrorCode::kUnknownSession: return "unknown_session";
+    case ErrorCode::kAddressInUse: return "address_in_use";
   }
   return "unknown";
 }

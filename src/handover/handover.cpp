@@ -127,19 +127,23 @@ void HandoverController::subscribe_link() {
   config.threshold = config_.quality_threshold + config_.predict_headroom;
   config.hysteresis = config_.hysteresis;
   config.min_interval = config_.quality_eval_interval;
-  sim::RadioMedium& medium = library_.daemon().network().medium();
-  observer_ = medium.observe_quality(
+  net::Network& network = library_.daemon().network();
+  observer_ = network.observe_quality(
       local.mac, remote.mac, remote.tech, config,
       [this, token = sentinel_.token()](const sim::LinkQualityEvent& event) {
         if (token.expired()) return;
         on_quality_event(event);
       });
+  // Backends without a geometry model (real sockets) decline the
+  // subscription: the predictor then never arms and the reactive monitor
+  // loop owns every repair.
+  if (observer_ == sim::kInvalidQualityObserver) return;
   // The observer's edge detector primes silently: if the link is *already*
   // inside the arming band at subscription (connected near the edge, or a
   // post-handover hop that starts degraded), kFell will never fire — arm
   // the predictor directly.
   const sim::LinkQualityEvent probe =
-      medium.probe_link(local.mac, remote.mac, remote.tech);
+      network.probe_link(local.mac, remote.mac, remote.tech);
   if (probe.quality > 0 && probe.quality < config.threshold && !busy_) {
     arm_predictor();
   }
@@ -147,7 +151,7 @@ void HandoverController::subscribe_link() {
 
 void HandoverController::unsubscribe_link() {
   if (observer_ == sim::kInvalidQualityObserver) return;
-  library_.daemon().network().medium().unobserve_quality(observer_);
+  library_.daemon().network().unobserve_quality(observer_);
   observer_ = sim::kInvalidQualityObserver;
 }
 
@@ -165,7 +169,7 @@ double HandoverController::setup_estimate_s() const {
     tech = channel_->connection()->remote_address().tech;
   }
   return 2.0 *
-         library_.daemon().network().medium().params(tech).connect_delay_max_s;
+         library_.daemon().network().params(tech).connect_delay_max_s;
 }
 
 void HandoverController::on_quality_event(const sim::LinkQualityEvent& event) {
@@ -219,9 +223,9 @@ void HandoverController::predict_check() {
   if (conn == nullptr) return;
   const net::NetAddress local = conn->local_address();
   const net::NetAddress remote = conn->remote_address();
-  sim::RadioMedium& medium = library_.daemon().network().medium();
+  net::Network& network = library_.daemon().network();
   const sim::LinkQualityEvent probe =
-      medium.probe_link(local.mac, remote.mac, remote.tech);
+      network.probe_link(local.mac, remote.mac, remote.tech);
   if (probe.quality > config_.quality_threshold + config_.predict_headroom +
                           config_.hysteresis) {
     // Recovered (defensive double-check of the kRose edge).
@@ -238,7 +242,7 @@ void HandoverController::predict_check() {
   // watching silently (the predictor stays armed so repair resumes the
   // moment the sending flag comes back).
   if (!channel_->sending()) return;
-  const double range = medium.params(remote.tech).range_m;
+  const double range = network.params(remote.tech).range_m;
   const double time_to_loss =
       (range - probe.distance_m) / probe.radial_speed_mps;
   if (time_to_loss > setup_estimate_s() * config_.setup_margin) return;

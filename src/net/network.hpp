@@ -1,28 +1,62 @@
-// SimNetwork: connection-oriented transport plus datagrams on top of the
-// radio medium. Models the paper's measured Bluetooth behaviour: connection
-// establishment takes seconds and fails stochastically (§4.3), and an open
-// link dies when the peers leave mutual coverage.
+// net::Network — the abstract transport the whole PeerHood stack runs on.
+//
+// Backend split (this PR): the protocol stack (Engine, Daemon, Plugin,
+// dial_with_ack, Library, BridgeService, HandoverController) consumes only
+// this interface. Two backends implement it:
+//
+//   - SimNetwork   (net/sim_network.hpp): the simulated transport on top of
+//     sim::RadioMedium — stochastic connect delays/failures, coverage-driven
+//     link death, the fault-injection plane. Deterministic under a seed.
+//   - PosixNetwork (net/posix_network.hpp): real sockets — UDP datagrams plus
+//     length-prefix-framed TCP channels over epoll, bridged into a wall-clock
+//     driven sim::Simulator so timers and sockets share one event core.
+//
+// The interface covers everything the stack needs from a medium: datagrams,
+// listen/connect with ConnectionPtr endpoints, the discovery inquiry plane,
+// link-quality sampling/observation, per-technology parameters, integrity
+// accounting, and the backend's Simulator (timers + deterministic RNG).
+// Quality *observation* (the predictive-handover push plane) is optional:
+// backends without a mobility model return kInvalidQualityObserver and the
+// handover controller degrades gracefully to its reactive loop.
 #pragma once
 
 #include <cstdint>
-#include <deque>
 #include <functional>
-#include <map>
 #include <memory>
 #include <span>
+#include <vector>
 
 #include "common/bytes.hpp"
 #include "common/result.hpp"
 #include "net/address.hpp"
 #include "net/connection.hpp"
-#include "net/frame_check.hpp"
 #include "sim/medium.hpp"
 
 namespace peerhood::net {
 
-class SimConnection;
+// Backend-agnostic transport counters, reported identically by chaos/crash
+// benches across backends (merged into ScenarioMetrics for sim runs, logged
+// by the real daemon on shutdown).
+struct NetStats {
+  // Receive-side integrity: frames checked / dropped by the length+checksum
+  // header (bit corruption on the air, or garbage on a real socket).
+  std::uint64_t frames_checked{0};
+  std::uint64_t corrupt_drops{0};
+  // Oldest-drop evictions from bounded per-peer send queues.
+  std::uint64_t send_queue_drops{0};
+  // Connect attempts beyond the first (capped-backoff reconnects).
+  std::uint64_t reconnect_attempts{0};
 
-class SimNetwork {
+  NetStats& operator+=(const NetStats& other) {
+    frames_checked += other.frames_checked;
+    corrupt_drops += other.corrupt_drops;
+    send_queue_drops += other.send_queue_drops;
+    reconnect_attempts += other.reconnect_attempts;
+    return *this;
+  }
+};
+
+class Network {
  public:
   using AcceptHandler = std::function<void(ConnectionPtr)>;
   using ConnectHandler = std::function<void(Result<ConnectionPtr>)>;
@@ -30,99 +64,139 @@ class SimNetwork {
   // decode in place (no per-datagram copy on the receive path).
   using DatagramHandler =
       std::function<void(MacAddress from, std::span<const std::uint8_t>)>;
+  // Shared immutable frame buffer (one allocation, many sends).
+  using FramePtr = sim::RadioMedium::FramePtr;
 
   // First *body* byte (after the integrity header, net/frame_check.hpp) of
-  // every medium frame carrying a datagram. Public so the discovery snapshot
-  // cache can bake the header + tag into its shared response buffers and
-  // send them through send_datagram(FramePtr) without a copy.
+  // every frame carrying a datagram. Public so the discovery snapshot cache
+  // can bake the header + tag into its shared response buffers and send them
+  // through send_datagram(FramePtr) without a copy.
   static constexpr std::uint8_t kDatagramFrameTag = 0;
 
   // Receive-side integrity accounting: frames whose length/checksum header
-  // failed verification (bit corruption on the medium) are counted and
-  // dropped before any decoder sees them.
+  // failed verification are counted and dropped before any decoder sees
+  // them. Kept as its own struct (and not just NetStats fields) for the
+  // fault-plane tests that assert on it directly.
   struct IntegrityStats {
     std::uint64_t frames_checked{0};
     std::uint64_t corrupt_drops{0};
   };
 
-  explicit SimNetwork(sim::RadioMedium& medium);
-  ~SimNetwork();
+  Network() = default;
+  virtual ~Network() = default;
 
-  SimNetwork(const SimNetwork&) = delete;
-  SimNetwork& operator=(const SimNetwork&) = delete;
+  Network(const Network&) = delete;
+  Network& operator=(const Network&) = delete;
 
-  // Attaches a (device, technology) interface to the medium. All listeners,
-  // datagrams and connections for that interface flow through this network.
-  void attach_interface(MacAddress mac, Technology tech,
-                        std::shared_ptr<const sim::MobilityModel> mobility);
-  void detach_interface(MacAddress mac, Technology tech);
+  // Attaches a (device, technology) interface. All listeners, datagrams and
+  // connections for that interface flow through this network. The mobility
+  // model feeds the sim medium's geometry; socket backends ignore it.
+  virtual void attach_interface(
+      MacAddress mac, Technology tech,
+      std::shared_ptr<const sim::MobilityModel> mobility) = 0;
+  virtual void detach_interface(MacAddress mac, Technology tech) = 0;
 
   // --- Datagrams (used by the discovery plane) ------------------------------
-  void set_datagram_handler(MacAddress mac, Technology tech,
-                            DatagramHandler handler);
-  void send_datagram(MacAddress from, MacAddress to, Technology tech,
-                     Bytes payload);
-  // Copy-free variant: `frame` must already start with kDatagramFrameTag
-  // (the sender baked the tag in). Repeated sends of the same frame share
-  // one allocation end to end — the discovery cache's steady-state path.
-  void send_datagram(MacAddress from, MacAddress to, Technology tech,
-                     sim::RadioMedium::FramePtr frame);
+  virtual void set_datagram_handler(MacAddress mac, Technology tech,
+                                    DatagramHandler handler) = 0;
+  virtual void send_datagram(MacAddress from, MacAddress to, Technology tech,
+                             Bytes payload) = 0;
+  // Copy-free variant: `frame` must already start with the sealed integrity
+  // header + kDatagramFrameTag (the sender baked them in). Repeated sends of
+  // the same frame share one allocation end to end — the discovery cache's
+  // steady-state path.
+  virtual void send_datagram(MacAddress from, MacAddress to, Technology tech,
+                             FramePtr frame) = 0;
 
   // --- Connections ----------------------------------------------------------
-  void listen(const NetAddress& address, AcceptHandler handler);
-  void stop_listening(const NetAddress& address);
+  // Binds an accept handler to `address`. Double-bind is an error (real
+  // sockets say EADDRINUSE): the first listener keeps the address.
+  [[nodiscard]] virtual Status listen(const NetAddress& address,
+                                      AcceptHandler handler) = 0;
+  virtual void stop_listening(const NetAddress& address) = 0;
 
-  // Asynchronously establishes a connection. The handler fires exactly once,
-  // after the sampled per-technology establishment delay, with either an open
-  // connection or an error (failure injection / out of range / no listener).
-  void connect(MacAddress from_mac, const NetAddress& to,
-               ConnectHandler handler);
+  // Asynchronously establishes a connection. The handler fires exactly once
+  // with either an open connection or an error.
+  virtual void connect(MacAddress from_mac, const NetAddress& to,
+                       ConnectHandler handler) = 0;
 
-  // How often open connections verify they are still in coverage.
-  void set_keepalive_period(SimDuration period) { keepalive_period_ = period; }
+  // How often open connections verify their peer is still alive/in coverage.
+  virtual void set_keepalive_period(SimDuration period) = 0;
 
-  [[nodiscard]] sim::RadioMedium& medium() { return medium_; }
-  [[nodiscard]] sim::Simulator& simulator() { return medium_.simulator(); }
+  // --- Discovery inquiry plane ---------------------------------------------
+  // One §3.4.2 inquiry window: begin_inquiry opens it (the device stops
+  // answering other inquiries while it scans — the Bluetooth asymmetry),
+  // end_inquiry closes it and returns the responders heard, cancel_inquiry
+  // closes it discarding them (plugin stopped mid-window).
+  virtual void begin_inquiry(MacAddress mac, Technology tech) = 0;
+  [[nodiscard]] virtual std::vector<MacAddress> end_inquiry(
+      MacAddress mac, Technology tech) = 0;
+  virtual void cancel_inquiry(MacAddress mac, Technology tech) = 0;
+  // The "PeerHood tag" found via SDP query (§2.3): whether `mac` advertises
+  // PeerHood capability on `tech`.
+  [[nodiscard]] virtual bool peerhood_tag(MacAddress mac,
+                                          Technology tech) const = 0;
+  // Noisy RSSI-style sample of the (local, peer) link; 0 = gone.
+  [[nodiscard]] virtual int sample_quality(MacAddress local, MacAddress peer,
+                                           Technology tech) = 0;
 
-  // Count of connection pairs not yet fully closed (for tests).
-  [[nodiscard]] std::size_t live_connection_count() const;
+  // Per-technology timing/behaviour parameters (inquiry cadence, fetch cost,
+  // connect-delay envelope). Backends own the values: the sim medium models
+  // the paper's measurements, the socket backend ships fast local defaults.
+  [[nodiscard]] virtual const sim::TechnologyParams& params(
+      Technology tech) const = 0;
+
+  // --- Push-based quality observation (optional) ----------------------------
+  // The predictive-handover plane. Backends without a mobility/geometry
+  // model return kInvalidQualityObserver; the controller then never gets a
+  // kFell edge and falls back to its reactive monitor loop.
+  virtual sim::QualityObserverId observe_quality(
+      MacAddress a, MacAddress b, Technology tech,
+      sim::QualityObserverConfig config, sim::RadioMedium::QualityHandler
+      handler) {
+    (void)a; (void)b; (void)tech; (void)config; (void)handler;
+    return sim::kInvalidQualityObserver;
+  }
+  virtual void unobserve_quality(sim::QualityObserverId id) { (void)id; }
+  // One-shot link measurement in observer-event form. The default (socket
+  // backends) has no geometry: quality from sample_quality, no distance or
+  // radial speed — the time-to-loss predictor stays quiet and the reactive
+  // path does the repairs.
+  [[nodiscard]] virtual sim::LinkQualityEvent probe_link(MacAddress a,
+                                                         MacAddress b,
+                                                         Technology tech) {
+    sim::LinkQualityEvent event;
+    event.a = a;
+    event.b = b;
+    event.tech = tech;
+    event.quality = sample_quality(a, b, tech);
+    event.at = simulator().now();
+    return event;
+  }
+
+  // The backend's event core: timers and the deterministic RNG stream every
+  // protocol layer schedules against. For SimNetwork this is the medium's
+  // simulator; for PosixNetwork a wall-clock-driven instance whose wheel
+  // deadlines bound the epoll_wait timeout.
+  [[nodiscard]] virtual sim::Simulator& simulator() = 0;
+
+  // Count of connections not yet fully closed (for tests).
+  [[nodiscard]] virtual std::size_t live_connection_count() const = 0;
 
   [[nodiscard]] const IntegrityStats& integrity_stats() const {
     return integrity_;
   }
 
- private:
-  friend class SimConnection;
-
-  struct Interface {
-    DatagramHandler datagram_handler;
-  };
-
-  struct Pair;  // shared state of one connection (both ends)
-
-  using IfaceKey = std::pair<std::uint64_t, std::uint8_t>;
-  [[nodiscard]] static IfaceKey iface_key(MacAddress mac, Technology tech) {
-    return {mac.as_u64(), static_cast<std::uint8_t>(tech)};
+  // Backend-agnostic counters; backends fold their queue/reconnect
+  // accounting on top of the shared integrity numbers.
+  [[nodiscard]] virtual NetStats net_stats() const {
+    NetStats stats;
+    stats.frames_checked = integrity_.frames_checked;
+    stats.corrupt_drops = integrity_.corrupt_drops;
+    return stats;
   }
 
-  void handle_frame(MacAddress local, Technology tech, MacAddress from,
-                    const Bytes& frame);
-  void finish_connect(MacAddress from_mac, NetAddress to,
-                      ConnectHandler handler);
-  void on_peer_data(std::uint64_t conn_id, MacAddress receiver, Bytes payload);
-  void on_peer_close(std::uint64_t conn_id, MacAddress receiver);
-  void notify_local_close(Pair& pair, bool is_a);
-  void check_keepalive(std::uint64_t conn_id);
-  void teardown(Pair& pair, bool notify_peers);
-  void send_conn_frame(std::uint64_t conn_id, MacAddress from, MacAddress to,
-                       Technology tech, std::uint8_t kind, Bytes payload);
-
-  sim::RadioMedium& medium_;
-  std::map<IfaceKey, Interface> interfaces_;
-  std::map<NetAddress, AcceptHandler> listeners_;
-  std::map<std::uint64_t, std::shared_ptr<Pair>> pairs_;
-  std::uint64_t next_conn_id_{1};
-  SimDuration keepalive_period_{std::chrono::milliseconds{500}};
+ protected:
   IntegrityStats integrity_;
 };
 

@@ -1,4 +1,4 @@
-#include "net/network.hpp"
+#include "net/sim_network.hpp"
 
 #include <cassert>
 #include <utility>
@@ -250,12 +250,71 @@ void SimNetwork::send_datagram(MacAddress from, MacAddress to, Technology tech,
   medium_.send_frame(from, to, tech, std::move(frame));
 }
 
-void SimNetwork::listen(const NetAddress& address, AcceptHandler handler) {
-  listeners_[address] = std::move(handler);
+Status SimNetwork::listen(const NetAddress& address, AcceptHandler handler) {
+  // Double-bind is an error, as on real sockets (EADDRINUSE). The silent
+  // overwrite this used to do could drop a live engine listener on the floor.
+  const auto [it, inserted] =
+      listeners_.try_emplace(address, std::move(handler));
+  if (!inserted) {
+    return Status{ErrorCode::kAddressInUse,
+                  "listener already bound at " + address.to_string()};
+  }
+  return Status::ok_status();
 }
 
 void SimNetwork::stop_listening(const NetAddress& address) {
   listeners_.erase(address);
+}
+
+void SimNetwork::begin_inquiry(MacAddress mac, Technology tech) {
+  // Accounting order matches the pre-interface Plugin code exactly (count,
+  // then flip the asymmetry flag) so sim runs stay byte-identical.
+  ++medium_.stats().inquiries;
+  medium_.set_inquiring(mac, tech, true);
+}
+
+std::vector<MacAddress> SimNetwork::end_inquiry(MacAddress mac,
+                                                Technology tech) {
+  medium_.set_inquiring(mac, tech, false);
+  std::vector<MacAddress> responders =
+      medium_.discoverable_in_range(mac, tech);
+  medium_.stats().inquiry_responses += responders.size();
+  return responders;
+}
+
+void SimNetwork::cancel_inquiry(MacAddress mac, Technology tech) {
+  // Stopped mid-inquiry: leave the medium in a sane state, not forever
+  // undiscoverable-by-asymmetry.
+  medium_.set_inquiring(mac, tech, false);
+}
+
+bool SimNetwork::peerhood_tag(MacAddress mac, Technology tech) const {
+  return medium_.peerhood_tag(mac, tech);
+}
+
+int SimNetwork::sample_quality(MacAddress local, MacAddress peer,
+                               Technology tech) {
+  return medium_.sample_quality(local, peer, tech);
+}
+
+const sim::TechnologyParams& SimNetwork::params(Technology tech) const {
+  return medium_.params(tech);
+}
+
+sim::QualityObserverId SimNetwork::observe_quality(
+    MacAddress a, MacAddress b, Technology tech,
+    sim::QualityObserverConfig config,
+    sim::RadioMedium::QualityHandler handler) {
+  return medium_.observe_quality(a, b, tech, config, std::move(handler));
+}
+
+void SimNetwork::unobserve_quality(sim::QualityObserverId id) {
+  medium_.unobserve_quality(id);
+}
+
+sim::LinkQualityEvent SimNetwork::probe_link(MacAddress a, MacAddress b,
+                                             Technology tech) {
+  return medium_.probe_link(a, b, tech);
 }
 
 void SimNetwork::connect(MacAddress from_mac, const NetAddress& to,

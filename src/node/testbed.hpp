@@ -13,7 +13,7 @@
 #include <vector>
 
 #include "bridge/bridge_service.hpp"
-#include "net/network.hpp"
+#include "net/sim_network.hpp"
 #include "peerhood/daemon.hpp"
 #include "peerhood/library.hpp"
 #include "sim/medium.hpp"

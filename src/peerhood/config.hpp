@@ -68,6 +68,12 @@ struct DaemonConfig {
   // SessionStore journal capacity: resume records surviving a crash. Least
   // recently touched records are evicted first.
   std::size_t session_journal_capacity{64};
+  // When non-empty, the SessionStore journal also persists to this file and
+  // is reloaded on construction — the real-daemon path, where "crash" means
+  // kill -9 and recovery means a fresh process finding the journal on disk.
+  // Empty (the default) keeps the journal in-memory, as every sim scenario
+  // expects.
+  std::string session_journal_path{};
 
   // Interconnection (Ch. 4).
   bool bridge_enabled{true};

@@ -21,7 +21,7 @@ std::uint64_t mint_epoch(MacAddress mac) {
 
 }  // namespace
 
-Daemon::Daemon(net::SimNetwork& network, MacAddress mac,
+Daemon::Daemon(net::Network& network, MacAddress mac,
                std::shared_ptr<const sim::MobilityModel> mobility,
                DaemonConfig config)
     : network_{network},
@@ -35,6 +35,9 @@ Daemon::Daemon(net::SimNetwork& network, MacAddress mac,
       engine_{network, mac},
       session_store_{config_.session_journal_capacity} {
   cache_.set_caching(config_.snapshot_cache);
+  if (!config_.session_journal_path.empty()) {
+    session_store_.bind_file(config_.session_journal_path);
+  }
   engine_.set_session_store(&session_store_);
   for (const Technology tech : config_.technologies) {
     plugins_.push_back(std::make_unique<Plugin>(*this, tech));
@@ -197,7 +200,7 @@ void Daemon::answer_fetch(Technology tech, MacAddress from,
   // is resolved *now* (the responder serialises its state when it accepts
   // the fetch) so the deferred send captures only a shared buffer reference
   // — at the same generation every requester ships the same allocation.
-  const sim::TechnologyParams& params = network_.medium().params(tech);
+  const sim::TechnologyParams& params = network_.params(tech);
   const SimDuration cost = request.sections == wire::kSectionAll
                                ? 2 * params.fetch_time
                                : params.fetch_time;

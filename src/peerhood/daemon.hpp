@@ -29,7 +29,7 @@ namespace peerhood {
 
 class Daemon {
  public:
-  Daemon(net::SimNetwork& network, MacAddress mac,
+  Daemon(net::Network& network, MacAddress mac,
          std::shared_ptr<const sim::MobilityModel> mobility,
          DaemonConfig config);
   ~Daemon();
@@ -55,7 +55,7 @@ class Daemon {
   [[nodiscard]] DeviceStorage& storage() { return storage_; }
   [[nodiscard]] const DeviceStorage& storage() const { return storage_; }
   [[nodiscard]] Engine& engine() { return engine_; }
-  [[nodiscard]] net::SimNetwork& network() { return network_; }
+  [[nodiscard]] net::Network& network() { return network_; }
   [[nodiscard]] sim::Simulator& simulator() { return network_.simulator(); }
   [[nodiscard]] const NeighbourhoodAnalyzer& analyzer() const {
     return analyzer_;
@@ -119,7 +119,7 @@ class Daemon {
   void flush_pending_send(std::uint64_t peer_key, std::uint64_t send_id);
   [[nodiscard]] SnapshotSource snapshot_source() const;
 
-  net::SimNetwork& network_;
+  net::Network& network_;
   std::shared_ptr<const sim::MobilityModel> mobility_;
   DaemonConfig config_;
   DeviceInfo self_;
@@ -128,7 +128,7 @@ class Daemon {
   Engine engine_;
   std::vector<std::unique_ptr<Plugin>> plugins_;
   std::vector<ServiceInfo> services_;
-  SnapshotCache cache_{net::SimNetwork::kDatagramFrameTag};
+  SnapshotCache cache_{net::Network::kDatagramFrameTag};
   // Duplicate-suppression memo: last non-shared request id seen per
   // (requester, technology). Requesters mint fresh ids per attempt (retries
   // included), so only a fault-plane duplicate repeats the latest id.

@@ -54,7 +54,7 @@ void schedule_handshake_retransmit(
 
 }  // namespace
 
-void dial_with_ack(net::SimNetwork& network, MacAddress from,
+void dial_with_ack(net::Network& network, MacAddress from,
                    const net::NetAddress& hop, Bytes first_frame,
                    SimDuration timeout,
                    std::function<void(Result<net::ConnectionPtr>)> done) {

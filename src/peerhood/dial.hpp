@@ -21,7 +21,7 @@
 
 namespace peerhood {
 
-void dial_with_ack(net::SimNetwork& network, MacAddress from,
+void dial_with_ack(net::Network& network, MacAddress from,
                    const net::NetAddress& hop, Bytes first_frame,
                    SimDuration timeout,
                    std::function<void(Result<net::ConnectionPtr>)> done);

@@ -5,7 +5,7 @@
 
 namespace peerhood {
 
-Engine::Engine(net::SimNetwork& network, MacAddress mac)
+Engine::Engine(net::Network& network, MacAddress mac)
     : network_{network}, mac_{mac} {}
 
 Engine::~Engine() { stop(); }
@@ -14,10 +14,17 @@ void Engine::start(const std::vector<Technology>& technologies) {
   stop();
   listening_ = technologies;
   for (const Technology tech : listening_) {
-    network_.listen(net::NetAddress{mac_, tech, net::kPeerHoodEnginePort},
-                    [this](net::ConnectionPtr conn) {
-                      on_accept(std::move(conn));
-                    });
+    const Status bound =
+        network_.listen(net::NetAddress{mac_, tech, net::kPeerHoodEnginePort},
+                        [this](net::ConnectionPtr conn) {
+                          on_accept(std::move(conn));
+                        });
+    if (!bound.ok()) {
+      // Two engines on one (mac, tech) is a wiring bug — the first keeps the
+      // address (EADDRINUSE semantics); starting deaf would be silent.
+      log(LogLevel::kWarn, network_.simulator().now(), "engine",
+          mac_.to_string(), " listen failed: ", bound.error().to_string());
+    }
   }
 }
 
@@ -120,6 +127,14 @@ void Engine::handle_handshake(net::ConnectionPtr connection,
       const MacAddress peer = request.client_params.has_value()
                                   ? request.client_params->device.mac
                                   : connection->remote_address().mac;
+      // A fresh connect begins a fresh session: any journalled frontier
+      // under this id is a leftover from an earlier client incarnation that
+      // happened to mint the same id (deterministic minting makes that
+      // routine after a client restart). Restoring it would dedupe the new
+      // stream's opening frames as "already delivered" — drop it.
+      if (session_store_ != nullptr) {
+        session_store_->erase(request.session_id);
+      }
       (void)connection->write(wire::encode_ok());
       auto channel = std::make_shared<Channel>(
           request.session_id, request.service, peer, std::move(connection));

@@ -39,7 +39,7 @@ class Engine {
     std::uint64_t rejected{0};
   };
 
-  Engine(net::SimNetwork& network, MacAddress mac);
+  Engine(net::Network& network, MacAddress mac);
   ~Engine();
 
   Engine(const Engine&) = delete;
@@ -83,7 +83,7 @@ class Engine {
   void on_accept(net::ConnectionPtr connection);
   void handle_handshake(net::ConnectionPtr connection, const Bytes& frame);
 
-  net::SimNetwork& network_;
+  net::Network& network_;
   MacAddress mac_;
   std::vector<Technology> listening_;
   std::map<std::string, ServiceHandler> service_handlers_;

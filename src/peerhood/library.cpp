@@ -127,7 +127,7 @@ void Library::resume_via_bridge(MacAddress bridge, const ChannelPtr& channel,
   // The fallback closure captures the network (which outlives every node)
   // and our mac, not `this` — the Library may be gone by the time the first
   // dial fails, while the dial machinery only needs the transport.
-  net::SimNetwork* network = &daemon_.network();
+  net::Network* network = &daemon_.network();
   const MacAddress self = daemon_.mac();
   Bytes resume_frame = wire::encode_bridge(bridge_request);
   bridge_request.final_command = wire::Command::kResumeRestart;
@@ -171,7 +171,7 @@ void Library::resume_direct(const ChannelPtr& channel, StatusCallback callback,
   request.service = channel->service();
 
   const net::NetAddress hop{channel->peer(), tech, net::kPeerHoodEnginePort};
-  net::SimNetwork* network = &daemon_.network();
+  net::Network* network = &daemon_.network();
   const MacAddress self = daemon_.mac();
   Bytes restart_frame = wire::encode_resume_restart(request);
 

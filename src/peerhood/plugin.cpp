@@ -14,8 +14,7 @@ Plugin::~Plugin() { stop(); }
 
 void Plugin::start() {
   stopped_ = false;
-  const sim::TechnologyParams& params =
-      daemon_.network().medium().params(tech_);
+  const sim::TechnologyParams& params = daemon_.network().params(tech_);
   // Random initial phase so co-located daemons do not inquire in lock-step.
   const SimDuration phase =
       seconds(daemon_.simulator().rng().uniform(
@@ -40,9 +39,8 @@ void Plugin::stop() {
   if (inquiry_end_event_ != sim::kInvalidEvent) {
     daemon_.simulator().cancel(inquiry_end_event_);
     inquiry_end_event_ = sim::kInvalidEvent;
-    // Stopped mid-inquiry: leave the medium in a sane state, not forever
-    // undiscoverable-by-asymmetry.
-    daemon_.network().medium().set_inquiring(daemon_.mac(), tech_, false);
+    // Stopped mid-inquiry: close the window without collecting responders.
+    daemon_.network().cancel_inquiry(daemon_.mac(), tech_);
   }
   if (pending_.has_value()) {
     daemon_.simulator().cancel(pending_->timeout);
@@ -62,19 +60,19 @@ void Plugin::begin_cycle() {
   if (cycle_active_) return;  // previous cycle overran its interval
   cycle_active_ = true;
   ++stats_.loops;
-  sim::RadioMedium& medium = daemon_.network().medium();
-  ++medium.stats().inquiries;
-  medium.set_inquiring(daemon_.mac(), tech_, true);
+  net::Network& network = daemon_.network();
+  network.begin_inquiry(daemon_.mac(), tech_);
   inquiry_end_event_ = daemon_.simulator().schedule_after(
-      medium.params(tech_).inquiry_duration, [this] {
+      network.params(tech_).inquiry_duration, [this] {
         inquiry_end_event_ = sim::kInvalidEvent;
         end_inquiry();
       });
 }
 
 void Plugin::end_inquiry() {
-  sim::RadioMedium& medium = daemon_.network().medium();
-  medium.set_inquiring(daemon_.mac(), tech_, false);
+  net::Network& network = daemon_.network();
+  const std::vector<MacAddress> raw =
+      network.end_inquiry(daemon_.mac(), tech_);
 
   // Integrating a snapshot is not a pure function of the snapshot: a record
   // removed from — or weakened in — *our* storage since the last cycle can
@@ -90,9 +88,6 @@ void Plugin::end_inquiry() {
     }
   }
 
-  const std::vector<MacAddress> raw =
-      medium.discoverable_in_range(daemon_.mac(), tech_);
-  medium.stats().inquiry_responses += raw.size();
   stats_.responders += raw.size();
 
   cycle_responders_.clear();
@@ -104,7 +99,7 @@ void Plugin::end_inquiry() {
   const SimTime now = daemon_.simulator().now();
   for (const MacAddress responder : raw) {
     // SDP query for the PeerHood tag (§2.3).
-    if (!medium.peerhood_tag(responder, tech_)) {
+    if (!network.peerhood_tag(responder, tech_)) {
       ++stats_.non_peerhood;
       continue;
     }
@@ -185,7 +180,7 @@ void Plugin::process_next_responder() {
     fetch_info(job.target, std::move(done));
   } else {
     const sim::TechnologyParams& params =
-        daemon_.network().medium().params(tech_);
+        daemon_.network().params(tech_);
     fetch_section(job.target, wire::kSectionNeighbours, params.fetch_time,
                   std::move(done));
   }
@@ -193,7 +188,7 @@ void Plugin::process_next_responder() {
 
 void Plugin::fetch_info(MacAddress target, FetchCallback done) {
   const sim::TechnologyParams& params =
-      daemon_.network().medium().params(tech_);
+      daemon_.network().params(tech_);
   if (daemon_.config().unified_fetch) {
     // One longer connection fetching everything (§3.4.1 suggestion).
     fetch_section(target, wire::kSectionAll, 2 * params.fetch_time,
@@ -276,7 +271,7 @@ void Plugin::fetch_section(MacAddress target, std::uint8_t sections,
   ++stats_.fetch_attempts;
   sim::Simulator& sim = daemon_.simulator();
   const sim::TechnologyParams& params =
-      daemon_.network().medium().params(tech_);
+      daemon_.network().params(tech_);
   // Short-connection establishment fault (the paper found these frequent
   // "even if the devices have strong enough signal", §4.3).
   if (sim.rng().bernoulli(params.fetch_failure_prob)) {
@@ -398,7 +393,7 @@ void Plugin::on_fetch_response(MacAddress from,
 int Plugin::sampled_quality(MacAddress target, std::uint8_t load_percent) {
   // RSSI sampled while the fetch connection was up (§3.4.1).
   int quality =
-      daemon_.network().medium().sample_quality(daemon_.mac(), target, tech_);
+      daemon_.network().sample_quality(daemon_.mac(), target, tech_);
   if (quality <= 0) return quality;
   if (daemon_.config().load_derating) {
     // §4: de-rate the advertised quality by the responder's bridge load to
@@ -479,7 +474,7 @@ void Plugin::complete_cycle() {
   // overlap would never discover each other under the Bluetooth inquiry
   // asymmetry (§3.4.2 — the paper observes only *occasional* misses).
   const sim::TechnologyParams& params =
-      daemon_.network().medium().params(tech_);
+      daemon_.network().params(tech_);
   const double jitter = daemon_.simulator().rng().uniform(0.7, 1.1);
   const double base =
       std::chrono::duration<double>(params.inquiry_interval).count();

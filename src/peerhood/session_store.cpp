@@ -1,9 +1,53 @@
 #include "peerhood/session_store.hpp"
 
 #include <algorithm>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
 #include <utility>
 
 namespace peerhood {
+
+void SessionStore::bind_file(const std::string& path) {
+  path_ = path;
+  if (path_.empty()) return;
+  std::ifstream in{path_};
+  if (!in) return;  // first incarnation: nothing journalled yet
+  std::string line;
+  while (std::getline(in, line)) {
+    std::istringstream fields{line};
+    std::string tag;
+    SessionRecord record;
+    std::uint64_t peer64 = 0;
+    fields >> tag >> record.session_id >> peer64 >> record.next_seq >>
+        record.expected;
+    if (!fields || tag != "v1") continue;  // torn/foreign line: skip it
+    record.peer = MacAddress::from_u64(peer64);
+    fields.ignore(1);
+    std::getline(fields, record.service);
+    const std::uint64_t id = record.session_id;
+    records_[id] = std::move(record);
+    touch(id);
+  }
+}
+
+void SessionStore::persist() const {
+  if (path_.empty()) return;
+  // Whole-file rewrite through a temp + rename: the journal on disk is
+  // always a complete snapshot, never a torn one (the store is bounded, so
+  // the rewrite is a few KB at most).
+  const std::string tmp = path_ + ".tmp";
+  {
+    std::ofstream out{tmp, std::ios::trunc};
+    if (!out) return;
+    for (const auto& [id, record] : records_) {
+      out << "v1 " << id << ' ' << record.peer.as_u64() << ' '
+          << record.next_seq << ' ' << record.expected << ' '
+          << record.service << '\n';
+    }
+  }
+  std::rename(tmp.c_str(), path_.c_str());
+}
 
 void SessionStore::touch(std::uint64_t session_id) {
   const auto it = std::find(order_.begin(), order_.end(), session_id);
@@ -22,6 +66,7 @@ void SessionStore::put(SessionRecord record) {
   }
   records_[id] = std::move(record);
   touch(id);
+  persist();
 }
 
 bool SessionStore::update_frontier(std::uint64_t session_id,
@@ -32,6 +77,7 @@ bool SessionStore::update_frontier(std::uint64_t session_id,
   it->second.next_seq = next_seq;
   it->second.expected = expected;
   touch(session_id);
+  persist();
   return true;
 }
 
@@ -44,6 +90,7 @@ void SessionStore::erase(std::uint64_t session_id) {
   records_.erase(session_id);
   const auto it = std::find(order_.begin(), order_.end(), session_id);
   if (it != order_.end()) order_.erase(it);
+  persist();
 }
 
 }  // namespace peerhood

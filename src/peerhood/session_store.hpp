@@ -38,6 +38,17 @@ class SessionStore {
  public:
   explicit SessionStore(std::size_t capacity = 64) : capacity_{capacity} {}
 
+  // Optional file persistence — the journal of a *real* daemon process.
+  // bind_file() loads every record a previous incarnation journalled at
+  // `path` (the kill -9 restart path), then rewrites the file on each
+  // mutation via write-temp + rename, so the on-disk journal is always a
+  // complete, uncorrupted snapshot: a crash between a delivery and its
+  // journal write loses at most the newest frontier — the at-least-once
+  // boundary the resume protocol's dedup absorbs. Empty path (the default,
+  // and every sim scenario) keeps the store purely in-memory.
+  void bind_file(const std::string& path);
+  [[nodiscard]] const std::string& journal_path() const { return path_; }
+
   // Inserts or overwrites the record and marks it most recently touched.
   void put(SessionRecord record);
   // Updates just the frontier of an existing record; false if unknown.
@@ -52,8 +63,10 @@ class SessionStore {
 
  private:
   void touch(std::uint64_t session_id);
+  void persist() const;
 
   std::size_t capacity_;
+  std::string path_;
   std::map<std::uint64_t, SessionRecord> records_;
   // LRU order, least recent first; small enough that linear scans are fine.
   std::deque<std::uint64_t> order_;

@@ -692,6 +692,7 @@ void ScenarioRunner::run() {
   }
   metrics_.corrupt_frames_dropped =
       testbed_->network().integrity_stats().corrupt_drops;
+  metrics_.net_stats = testbed_->network().net_stats();
 }
 
 // --- Canned scenarios --------------------------------------------------------

@@ -18,6 +18,7 @@
 #include <vector>
 
 #include "handover/handover.hpp"
+#include "net/network.hpp"
 #include "node/testbed.hpp"
 #include "peerhood/reliable_channel.hpp"
 #include "sim/fault.hpp"
@@ -232,6 +233,11 @@ struct ScenarioMetrics {
   // fault schedule, crash schedule) must reproduce these exactly.
   sim::FaultStats fault_stats{};
   std::uint64_t corrupt_frames_dropped{0};
+  // Backend-agnostic transport counters (net::Network::net_stats()) over the
+  // whole run. corrupt_frames_dropped above stays the body-scoped figure the
+  // bench tables print; this is the raw backend total, comparable with what
+  // a real-socket daemon logs on shutdown.
+  net::NetStats net_stats{};
   // kResumeRestart handshakes honoured from a SessionStore journal, summed
   // over every node's engine — the crash plane's recovery counter.
   std::uint64_t restart_resumes{0};

@@ -6,7 +6,7 @@
 
 #include <gtest/gtest.h>
 
-#include "net/network.hpp"
+#include "net/sim_network.hpp"
 #include "sim/medium.hpp"
 
 namespace peerhood::sim {

@@ -1,4 +1,4 @@
-#include "net/network.hpp"
+#include "net/sim_network.hpp"
 
 #include <gtest/gtest.h>
 
@@ -41,7 +41,9 @@ class NetworkTest : public ::testing::Test {
                                                     const NetAddress& to) {
     ConnectionPtr client;
     ConnectionPtr server;
-    net_.listen(to, [&server](ConnectionPtr c) { server = std::move(c); });
+    EXPECT_TRUE(
+        net_.listen(to, [&server](ConnectionPtr c) { server = std::move(c); })
+            .ok());
     net_.connect(from, to, [&client](Result<ConnectionPtr> r) {
       ASSERT_TRUE(r.ok()) << r.error().to_string();
       client = std::move(r).value();
@@ -57,6 +59,22 @@ class NetworkTest : public ::testing::Test {
   SimNetwork net_;
 };
 
+TEST_F(NetworkTest, DoubleBindListenIsAddressInUse) {
+  // Same contract as the Posix backend: the first listener keeps the
+  // address, the second bind reports kAddressInUse instead of silently
+  // stealing or shadowing it.
+  const MacAddress b = attach(2, {5.0, 0.0});
+  const NetAddress addr{b, Technology::kBluetooth, 7};
+  ASSERT_TRUE(net_.listen(addr, [](ConnectionPtr) {}).ok());
+  const Status again = net_.listen(addr, [](ConnectionPtr) {});
+  ASSERT_FALSE(again.ok());
+  EXPECT_EQ(again.error().code, ErrorCode::kAddressInUse);
+
+  // Releasing the address makes it bindable again.
+  net_.stop_listening(addr);
+  EXPECT_TRUE(net_.listen(addr, [](ConnectionPtr) {}).ok());
+}
+
 TEST_F(NetworkTest, ConnectDeliversBothEnds) {
   const MacAddress a = attach(1, {0.0, 0.0});
   const MacAddress b = attach(2, {5.0, 0.0});
@@ -71,7 +89,9 @@ TEST_F(NetworkTest, ConnectDeliversBothEnds) {
 TEST_F(NetworkTest, ConnectTakesConfiguredDelay) {
   const MacAddress a = attach(1, {0.0, 0.0});
   const MacAddress b = attach(2, {5.0, 0.0});
-  net_.listen(NetAddress{b, Technology::kBluetooth, 7}, [](ConnectionPtr) {});
+  ASSERT_TRUE(net_.listen(NetAddress{b, Technology::kBluetooth, 7},
+                          [](ConnectionPtr) {})
+                  .ok());
   std::optional<double> resolved_at;
   net_.connect(a, NetAddress{b, Technology::kBluetooth, 7},
                [&](Result<ConnectionPtr> r) {
@@ -100,7 +120,9 @@ TEST_F(NetworkTest, ConnectFailsWithoutListener) {
 TEST_F(NetworkTest, ConnectFailsOutOfRange) {
   const MacAddress a = attach(1, {0.0, 0.0});
   const MacAddress b = attach(2, {100.0, 0.0});
-  net_.listen(NetAddress{b, Technology::kBluetooth, 7}, [](ConnectionPtr) {});
+  ASSERT_TRUE(net_.listen(NetAddress{b, Technology::kBluetooth, 7},
+                          [](ConnectionPtr) {})
+                  .ok());
   std::optional<Error> error;
   net_.connect(a, NetAddress{b, Technology::kBluetooth, 7},
                [&](Result<ConnectionPtr> r) {
@@ -128,7 +150,9 @@ TEST_F(NetworkTest, FailureInjection) {
   medium_.configure(bt);
   const MacAddress a = attach(1, {0.0, 0.0});
   const MacAddress b = attach(2, {5.0, 0.0});
-  net_.listen(NetAddress{b, Technology::kBluetooth, 7}, [](ConnectionPtr) {});
+  ASSERT_TRUE(net_.listen(NetAddress{b, Technology::kBluetooth, 7},
+                          [](ConnectionPtr) {})
+                  .ok());
   std::optional<Error> error;
   net_.connect(a, NetAddress{b, Technology::kBluetooth, 7},
                [&](Result<ConnectionPtr> r) {
@@ -312,7 +336,7 @@ TEST_F(NetworkTest, StopListeningRefusesNewConnections) {
   const MacAddress a = attach(1, {0.0, 0.0});
   const MacAddress b = attach(2, {5.0, 0.0});
   const NetAddress addr{b, Technology::kBluetooth, 7};
-  net_.listen(addr, [](ConnectionPtr) {});
+  ASSERT_TRUE(net_.listen(addr, [](ConnectionPtr) {}).ok());
   net_.stop_listening(addr);
   std::optional<Error> error;
   net_.connect(a, addr, [&](Result<ConnectionPtr> r) {

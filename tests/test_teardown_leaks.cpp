@@ -7,9 +7,18 @@
 // explicit EXPECTs below.
 #include <gtest/gtest.h>
 
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <functional>
 #include <memory>
+#include <vector>
 
 #include "handover/handover.hpp"
+#include "net/posix_network.hpp"
 #include "migration/task_client.hpp"
 #include "migration/task_server.hpp"
 #include "peerhood/reliable_channel.hpp"
@@ -220,9 +229,12 @@ TEST_F(TeardownTest, DialTimeoutReleasesHalfOpenConnection) {
   std::vector<net::ConnectionPtr> parked;
   const net::NetAddress engine_addr{server_->mac(), Technology::kBluetooth,
                                     net::kPeerHoodEnginePort};
-  testbed_->network().listen(engine_addr, [&](net::ConnectionPtr conn) {
-    parked.push_back(std::move(conn));
-  });
+  ASSERT_TRUE(testbed_->network()
+                  .listen(engine_addr,
+                          [&](net::ConnectionPtr conn) {
+                            parked.push_back(std::move(conn));
+                          })
+                  .ok());
 
   Library::ConnectOptions options;
   options.timeout = seconds(10.0);
@@ -259,9 +271,12 @@ TEST_F(TeardownTest, CloseHandlerRearmsAcrossSubstitution) {
   const net::NetAddress addr{server_->mac(), Technology::kBluetooth, 999};
   net::ConnectionPtr server_end;
   net::ConnectionPtr client_end;
-  testbed_->network().listen(addr, [&](net::ConnectionPtr conn) {
-    server_end = std::move(conn);
-  });
+  ASSERT_TRUE(testbed_->network()
+                  .listen(addr,
+                          [&](net::ConnectionPtr conn) {
+                            server_end = std::move(conn);
+                          })
+                  .ok());
   testbed_->network().connect(client_->mac(), addr,
                               [&](Result<net::ConnectionPtr> result) {
                                 if (result.ok()) {
@@ -286,9 +301,12 @@ TEST_F(TeardownTest, RxDrainSurvivesHandlerDroppingLastReference) {
   const net::NetAddress addr{server_->mac(), Technology::kBluetooth, 998};
   net::ConnectionPtr server_end;
   net::ConnectionPtr client_end;
-  testbed_->network().listen(addr, [&](net::ConnectionPtr conn) {
-    server_end = std::move(conn);
-  });
+  ASSERT_TRUE(testbed_->network()
+                  .listen(addr,
+                          [&](net::ConnectionPtr conn) {
+                            server_end = std::move(conn);
+                          })
+                  .ok());
   testbed_->network().connect(client_->mac(), addr,
                               [&](Result<net::ConnectionPtr> result) {
                                 if (result.ok()) {
@@ -771,6 +789,160 @@ TEST(CrashTeardown, CrashedNodeTornDownWhileStillDown) {
 }
 
 }  // namespace crash_teardown
+
+// --- PosixNetwork teardown (real sockets, LSan-audited) ----------------------
+//
+// The socket backend dies in messier ways than the simulator: file
+// descriptors, kernel-buffered bytes and epoll registrations all outlive C++
+// objects unless the destructor walks them down. Each case below destroys a
+// PosixNetwork at an awkward phase; the sanitize job (ASan+LSan, UBSan)
+// turns any leaked capture, fd-backed buffer or use-after-free into a
+// failure even where the EXPECTs cannot see it.
+namespace posix_teardown {
+
+using net::ConnectionPtr;
+using net::NetAddress;
+using net::PosixConfig;
+using net::PosixNetwork;
+
+PosixConfig snappy_config(std::uint64_t index) {
+  PosixConfig config;
+  config.mac = MacAddress::from_index(index);
+  config.seed = index;
+  config.connect_timeout = milliseconds(100);
+  config.connect_attempts = 3;
+  config.connect_backoff_base = milliseconds(5);
+  config.connect_backoff_cap = milliseconds(20);
+  return config;
+}
+
+[[nodiscard]] bool pump_until(PosixNetwork& a, PosixNetwork& b,
+                              const std::function<bool()>& done,
+                              int deadline_ms = 3000) {
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::milliseconds(deadline_ms);
+  while (std::chrono::steady_clock::now() < deadline) {
+    if (done()) return true;
+    a.poll_once(milliseconds(2));
+    b.poll_once(milliseconds(2));
+  }
+  return done();
+}
+
+TEST(PosixTeardown, DestroyBackendUnderLiveSessions) {
+  auto a = std::make_unique<PosixNetwork>(snappy_config(1));
+  auto b = std::make_unique<PosixNetwork>(snappy_config(2));
+  a->add_peer({b->mac(), "127.0.0.1", b->udp_port(), b->tcp_port()});
+  b->add_peer({a->mac(), "127.0.0.1", a->udp_port(), a->tcp_port()});
+  a->attach_interface(a->mac(), Technology::kBluetooth, nullptr);
+  b->attach_interface(b->mac(), Technology::kBluetooth, nullptr);
+
+  const NetAddress addr{b->mac(), Technology::kBluetooth, 7};
+  ConnectionPtr server;
+  ASSERT_TRUE(
+      b->listen(addr, [&](ConnectionPtr c) { server = std::move(c); }).ok());
+  ConnectionPtr client;
+  a->connect(a->mac(), addr, [&](Result<ConnectionPtr> r) {
+    if (r.ok()) client = std::move(r).value();
+  });
+  ASSERT_TRUE(pump_until(*a, *b, [&] { return client && server; }));
+
+  // Armed handlers on both ends; the captures must not outlive the backend.
+  Tracker data_capture;
+  Tracker close_capture;
+  client->set_data_handler([keep = data_capture.strong](const Bytes&) {});
+  server->set_close_handler([keep = close_capture.strong] {});
+  data_capture.drop_local();
+  close_capture.drop_local();
+  ASSERT_TRUE(client->write(Bytes{1, 2, 3}).ok());
+
+  // Destroy the client's backend with the session live and a frame possibly
+  // still in the kernel buffer. Endpoints survive the backend (shared_ptr)
+  // but must be closed with handlers severed.
+  a.reset();
+  EXPECT_FALSE(client->open());
+  EXPECT_TRUE(data_capture.released());
+  EXPECT_FALSE(client->write(Bytes{9}).ok());
+
+  // The peer backend notices the dead TCP side and walks its end down too.
+  ASSERT_TRUE(pump_until(*b, *b, [&] { return !server->open(); }, 5000));
+  b.reset();
+  EXPECT_TRUE(close_capture.released());
+  EXPECT_FALSE(server->open());
+}
+
+TEST(PosixTeardown, DestroyBackendWithHalfOpenConnects) {
+  auto a = std::make_unique<PosixNetwork>(snappy_config(1));
+  a->attach_interface(a->mac(), Technology::kBluetooth, nullptr);
+  // A peer whose TCP port is a black hole for this process: grab a bound
+  // port and close it, so connects are refused / retried with backoff.
+  const int probe = ::socket(AF_INET, SOCK_STREAM, 0);
+  ASSERT_GE(probe, 0);
+  sockaddr_in sin{};
+  sin.sin_family = AF_INET;
+  sin.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  ASSERT_EQ(::bind(probe, reinterpret_cast<sockaddr*>(&sin), sizeof(sin)), 0);
+  socklen_t len = sizeof(sin);
+  ASSERT_EQ(::getsockname(probe, reinterpret_cast<sockaddr*>(&sin), &len), 0);
+  const std::uint16_t dead_port = ntohs(sin.sin_port);
+  ::close(probe);
+  const MacAddress ghost = MacAddress::from_index(9);
+  a->add_peer({ghost, "127.0.0.1", dead_port, dead_port});
+
+  // Several in-flight connects, handler captures tracked. Destroying the
+  // backend mid-retry must release them all without invoking any of them
+  // after death.
+  std::vector<Tracker> trackers(3);
+  int fired = 0;
+  for (Tracker& tracker : trackers) {
+    a->connect(a->mac(), NetAddress{ghost, Technology::kBluetooth, 1},
+               [&fired, keep = tracker.strong](Result<ConnectionPtr> r) {
+                 EXPECT_FALSE(r.ok());
+                 ++fired;
+               });
+    tracker.drop_local();
+  }
+  a->poll_once(milliseconds(5));  // let the first attempts hit the wire
+  a.reset();
+  for (Tracker& tracker : trackers) {
+    EXPECT_TRUE(tracker.released());
+  }
+  // Handlers either fired with an error before destruction or not at all —
+  // never after (that would be a use-after-free the sanitizer flags).
+}
+
+TEST(PosixTeardown, DestroyBackendWithQueuedSends) {
+  auto a = std::make_unique<PosixNetwork>(snappy_config(1));
+  auto b = std::make_unique<PosixNetwork>(snappy_config(2));
+  a->add_peer({b->mac(), "127.0.0.1", b->udp_port(), b->tcp_port()});
+  b->add_peer({a->mac(), "127.0.0.1", a->udp_port(), a->tcp_port()});
+  a->attach_interface(a->mac(), Technology::kBluetooth, nullptr);
+  b->attach_interface(b->mac(), Technology::kBluetooth, nullptr);
+
+  const NetAddress addr{b->mac(), Technology::kBluetooth, 7};
+  ConnectionPtr server;
+  ASSERT_TRUE(
+      b->listen(addr, [&](ConnectionPtr c) { server = std::move(c); }).ok());
+  ConnectionPtr client;
+  a->connect(a->mac(), addr, [&](Result<ConnectionPtr> r) {
+    if (r.ok()) client = std::move(r).value();
+  });
+  ASSERT_TRUE(pump_until(*a, *b, [&] { return client && server; }));
+
+  // Stuff the outbox without ever pumping the peer: large frames overrun the
+  // kernel's socket buffer so the tail queues in user space; then die with
+  // the queue non-empty.
+  const Bytes big(32 * 1024, 0x5A);
+  for (int i = 0; i < 256; ++i) {
+    ASSERT_TRUE(client->write(big).ok());
+  }
+  a->poll_once(milliseconds(1));
+  a.reset();  // queued Bytes and the epoll EPOLLOUT registration must free
+  EXPECT_FALSE(client->open());
+  b.reset();
+}
+
+}  // namespace posix_teardown
 
 }  // namespace
 }  // namespace peerhood
